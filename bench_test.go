@@ -1,0 +1,425 @@
+package eel_test
+
+// Benchmarks regenerating the paper's tables and figures (see
+// DESIGN.md's experiment index) plus ablations of the design choices
+// DESIGN.md calls out.  Custom metrics carry the paper's "shape"
+// numbers: slowdown ratios, size ratios, analysis rates.
+
+import (
+	"testing"
+	"time"
+
+	"eel"
+	"eel/internal/activemem"
+	"eel/internal/asm"
+	"eel/internal/core"
+	"eel/internal/dataflow"
+	"eel/internal/mips"
+	"eel/internal/progen"
+	"eel/internal/qpt"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// benchProgram caches one medium workload for the benchmarks: seed
+// 2012 executes ~43k instructions including ~800 dispatch-table
+// jumps, so the slicing and folding ablations have something to
+// measure.
+var benchProgram = func() *progen.Program {
+	cfg := progen.DefaultConfig(2012)
+	cfg.Routines = 60
+	return progen.MustGenerate(cfg)
+}()
+
+// BenchmarkTable1QptVsQpt2 is experiment E1: instrumentation
+// throughput and output quality of the ad-hoc baseline vs EEL,
+// unoptimized and optimized.
+func BenchmarkTable1QptVsQpt2(b *testing.B) {
+	variants := []struct {
+		name string
+		mode qpt.Mode
+		opts func(e *core.Executable)
+	}{
+		{"qpt-adhoc", qpt.Light, nil},
+		{"qpt2", qpt.Full, func(e *core.Executable) {
+			e.Scavenge = false
+			e.FoldDelaySlots = false
+		}},
+		{"qpt2-O2", qpt.Full, nil},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var textBytes, runInsts float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.NewExecutable(benchProgram.File)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.ReadContents(); err != nil {
+					b.Fatal(err)
+				}
+				if v.opts != nil {
+					v.opts(e)
+				}
+				if _, err := qpt.Instrument(e, v.mode); err != nil {
+					b.Fatal(err)
+				}
+				edited, err := e.BuildEdited()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.StopTimer()
+					textBytes = float64(len(edited.Text().Data))
+					cpu := sim.LoadFile(edited, nil)
+					if err := cpu.Run(2_000_000_000); err != nil {
+						b.Fatal(err)
+					}
+					runInsts = float64(cpu.InstCount)
+					b.StartTimer()
+				}
+			}
+			b.ReportMetric(textBytes, "text-bytes")
+			b.ReportMetric(runInsts, "run-insts")
+		})
+	}
+}
+
+// BenchmarkIndirectJumpsGCC / SunPro are experiments E2/E3: full
+// program analysis including dispatch-table slicing.
+func benchmarkJumps(b *testing.B, pers progen.Personality) {
+	cfg := progen.DefaultConfig(7)
+	cfg.Personality = pers
+	p := progen.MustGenerate(cfg)
+	var indirect, unresolved int
+	for i := 0; i < b.N; i++ {
+		indirect, unresolved = 0, 0
+		e, err := eel.Load(p.File)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range e.Routines() {
+			g, err := r.ControlFlowGraph()
+			if err != nil {
+				continue
+			}
+			for _, ij := range g.IndirectJumps {
+				indirect++
+				if !ij.Resolved {
+					unresolved++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(indirect), "ijumps")
+	b.ReportMetric(float64(unresolved), "unresolved")
+}
+
+func BenchmarkIndirectJumpsGCC(b *testing.B)    { benchmarkJumps(b, progen.GCC) }
+func BenchmarkIndirectJumpsSunPro(b *testing.B) { benchmarkJumps(b, progen.SunPro) }
+
+// BenchmarkUneditableFraction is experiment E4 as a CFG-construction
+// throughput benchmark.
+func BenchmarkUneditableFraction(b *testing.B) {
+	p := benchProgram
+	var ub, ue, tb, te int
+	for i := 0; i < b.N; i++ {
+		e, err := eel.Load(p.File)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ub, ue, tb, te = 0, 0, 0, 0
+		for _, r := range e.Routines() {
+			g, err := r.ControlFlowGraph()
+			if err != nil {
+				continue
+			}
+			s := g.Stats()
+			ub += s.UneditableB
+			ue += s.UneditableE
+			tb += s.Blocks
+			te += s.Edges
+		}
+	}
+	b.ReportMetric(100*float64(ub)/float64(tb), "uneditable-blocks-%")
+	b.ReportMetric(100*float64(ue)/float64(te), "uneditable-edges-%")
+}
+
+// BenchmarkInstructionSharing is experiment E6's ablation: decode
+// throughput and allocations with and without interning.
+func BenchmarkInstructionSharing(b *testing.B) {
+	text := benchProgram.File.Text()
+	for _, intern := range []bool{true, false} {
+		name := "interned"
+		if !intern {
+			name = "uninterned"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			dec := sparc.NewDecoder()
+			dec.SetIntern(intern)
+			for i := 0; i < b.N; i++ {
+				for a := text.Addr; a+4 <= text.End(); a += 4 {
+					off := a - text.Addr
+					w := uint32(text.Data[off])<<24 | uint32(text.Data[off+1])<<16 |
+						uint32(text.Data[off+2])<<8 | uint32(text.Data[off+3])
+					dec.Decode(w)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpawnCompile is experiment E9: compiling machine
+// descriptions.
+func BenchmarkSpawnCompile(b *testing.B) {
+	for _, src := range []struct {
+		name string
+		text string
+	}{{"sparc", sparc.DescriptionSource}, {"mips", mips.DescriptionSource}} {
+		b.Run(src.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spawn.ParseDesc(src.text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkActiveMemory is experiment E10: executing the
+// cache-instrumented program; the slowdown metric is the paper's
+// headline 2-7x.
+func BenchmarkActiveMemory(b *testing.B) {
+	cfg := progen.DefaultConfig(1011)
+	cfg.MemHeavy = true
+	p := progen.MustGenerate(cfg)
+	orig := sim.LoadFile(p.File, nil)
+	if err := orig.Run(2_000_000_000); err != nil {
+		b.Fatal(err)
+	}
+	e, err := eel.Load(p.File)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := activemem.Instrument(e, activemem.DefaultConfig()); err != nil {
+		b.Fatal(err)
+	}
+	edited, err := e.BuildEdited()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var slowdown float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu := sim.LoadFile(edited, nil)
+		if err := cpu.Run(2_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		slowdown = float64(cpu.InstCount) / float64(orig.InstCount)
+	}
+	b.ReportMetric(slowdown, "slowdown-x")
+}
+
+// BenchmarkBlizzardCC is experiment E11: the liveness analysis that
+// enables the cc-aware access test.
+func BenchmarkBlizzardCC(b *testing.B) {
+	e, err := eel.Load(benchProgram.File)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var graphs []*eel.CFG
+	for _, r := range e.Routines() {
+		if g, err := r.ControlFlowGraph(); err == nil {
+			graphs = append(graphs, g)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			eel.ComputeLiveness(g)
+		}
+	}
+}
+
+// BenchmarkScavengeVsSpill ablates snippet register scavenging: the
+// run-insts metric shows the edited program's execution cost with
+// liveness-driven allocation vs always-spilling.
+func BenchmarkScavengeVsSpill(b *testing.B) {
+	for _, scavenge := range []bool{true, false} {
+		name := "scavenge"
+		if !scavenge {
+			name = "spill"
+		}
+		b.Run(name, func(b *testing.B) {
+			var runInsts float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.NewExecutable(benchProgram.File)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.ReadContents(); err != nil {
+					b.Fatal(err)
+				}
+				e.Scavenge = scavenge
+				if _, err := qpt.Instrument(e, qpt.Full); err != nil {
+					b.Fatal(err)
+				}
+				edited, err := e.BuildEdited()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.StopTimer()
+					cpu := sim.LoadFile(edited, nil)
+					if err := cpu.Run(2_000_000_000); err != nil {
+						b.Fatal(err)
+					}
+					runInsts = float64(cpu.InstCount)
+					b.StartTimer()
+				}
+			}
+			b.ReportMetric(runInsts, "run-insts")
+		})
+	}
+}
+
+// BenchmarkSliceVsRuntime ablates dispatch-table slicing: resolved
+// jumps keep their (rewritten) tables; forcing run-time translation
+// shows the cost the slicer avoids.
+func BenchmarkSliceVsRuntime(b *testing.B) {
+	for _, force := range []bool{false, true} {
+		name := "sliced"
+		if force {
+			name = "runtime-translate"
+		}
+		b.Run(name, func(b *testing.B) {
+			var runInsts float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.NewExecutable(benchProgram.File)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.ReadContents(); err != nil {
+					b.Fatal(err)
+				}
+				e.ForceRuntimeTranslation = force
+				if _, err := qpt.Instrument(e, qpt.Full); err != nil {
+					b.Fatal(err)
+				}
+				edited, err := e.BuildEdited()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.StopTimer()
+					cpu := sim.LoadFile(edited, nil)
+					if err := cpu.Run(2_000_000_000); err != nil {
+						b.Fatal(err)
+					}
+					runInsts = float64(cpu.InstCount)
+					b.StartTimer()
+				}
+			}
+			b.ReportMetric(runInsts, "run-insts")
+		})
+	}
+}
+
+// BenchmarkDelaySlotFolding ablates folding hoisted slot
+// instructions back into delay slots (§3.3): the text-bytes metric
+// shows the size cost of leaving them unfolded.
+func BenchmarkDelaySlotFolding(b *testing.B) {
+	for _, fold := range []bool{true, false} {
+		name := "folded"
+		if !fold {
+			name = "unfolded"
+		}
+		b.Run(name, func(b *testing.B) {
+			var textBytes float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.NewExecutable(benchProgram.File)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.ReadContents(); err != nil {
+					b.Fatal(err)
+				}
+				e.FoldDelaySlots = fold
+				edited, err := e.BuildEdited()
+				if err != nil {
+					b.Fatal(err)
+				}
+				textBytes = float64(len(edited.Text().Data))
+			}
+			b.ReportMetric(textBytes, "text-bytes")
+		})
+	}
+}
+
+// BenchmarkCFGConstruction measures the core analysis kernel.
+func BenchmarkCFGConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := eel.Load(benchProgram.File)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range e.Routines() {
+			if _, err := r.ControlFlowGraph(); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// BenchmarkDominators measures dominator computation over the corpus.
+func BenchmarkDominators(b *testing.B) {
+	e, err := eel.Load(benchProgram.File)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var graphs []*eel.CFG
+	for _, r := range e.Routines() {
+		if g, err := r.ControlFlowGraph(); err == nil {
+			graphs = append(graphs, g)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			idom := dataflow.Dominators(g)
+			dataflow.NaturalLoops(g, idom)
+		}
+	}
+}
+
+// BenchmarkEmulator measures raw emulation speed (simulated
+// instructions per second).
+func BenchmarkEmulator(b *testing.B) {
+	start := time.Now()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		cpu := sim.LoadFile(benchProgram.File, nil)
+		if err := cpu.Run(2_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		insts += cpu.InstCount
+	}
+	sec := time.Since(start).Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(insts)/sec, "sim-insts/s")
+	}
+}
+
+// BenchmarkAssemble measures the two-pass assembler.
+func BenchmarkAssemble(b *testing.B) {
+	src := benchProgram.Source
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(src, 0x10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

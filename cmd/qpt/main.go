@@ -1,0 +1,26 @@
+// Command qpt models the paper's pre-EEL ad-hoc profiler — the
+// Table 1 baseline: the same edge-counting instrumentation as qpt2,
+// but without EEL's analyses (no liveness, so snippets always spill;
+// no slicing, so indirect jumps translate at run time; no delay-slot
+// folding).  It instruments faster and produces larger, slower
+// output — the tradeoff Table 1 quantifies.
+//
+// Usage:
+//
+//	qpt [-o out] [-run] [-gen seed] [input]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"eel/internal/qpt"
+	"eel/internal/toolmain"
+)
+
+func main() {
+	if err := toolmain.Run("qpt", qpt.Light, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qpt:", err)
+		os.Exit(1)
+	}
+}

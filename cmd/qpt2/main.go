@@ -1,0 +1,28 @@
+// Command qpt2 is the paper's EEL-based profiler (§5): it rewrites an
+// executable so that every conditional-control-flow edge increments a
+// counter, using EEL's full analysis (CFGs, slicing, liveness-driven
+// register scavenging, delay-slot folding).
+//
+// Usage:
+//
+//	qpt2 [-o out] [-run] [-gen seed] [input]
+//
+// With -gen N, a synthetic program is generated (seed N) instead of
+// reading input.  With -run, the instrumented program executes on the
+// bundled SPARC emulator and the hottest edges print afterward.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"eel/internal/qpt"
+	"eel/internal/toolmain"
+)
+
+func main() {
+	if err := toolmain.Run("qpt2", qpt.Full, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qpt2:", err)
+		os.Exit(1)
+	}
+}

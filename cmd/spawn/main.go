@@ -1,0 +1,94 @@
+// Command spawn is the standalone driver for the machine-description
+// compiler (paper §4): it parses a description, reports everything it
+// derived (encodings, classifications, register sets, delay slots),
+// and can emit a generated Go source file of decode tables — the
+// analogue of the paper's spawn emitting machine-specific C++.
+//
+// Usage:
+//
+//	spawn [-machine sparc|mips] [-gen out.go] [-v] [description-file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"eel/internal/alpha"
+	"eel/internal/mips"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+func main() {
+	machineName := flag.String("machine", "sparc", "builtin description to use (sparc, mips, or alpha) when no file is given")
+	genPath := flag.String("gen", "", "emit generated Go decode tables to this file")
+	verbose := flag.Bool("v", false, "print per-instruction derivations")
+	flag.Parse()
+
+	var src string
+	switch {
+	case flag.Arg(0) != "":
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	case *machineName == "sparc":
+		src = sparc.DescriptionSource
+	case *machineName == "mips":
+		src = mips.DescriptionSource
+	case *machineName == "alpha":
+		src = alpha.DescriptionSource
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+
+	desc, err := spawn.ParseDesc(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine %s: %d fields, %d register files, %d instructions\n",
+		desc.MachineName, len(desc.Fields), len(desc.Files), len(desc.Insts))
+	fmt.Printf("description: %d non-comment, non-blank lines\n", desc.SourceLines)
+
+	byCat := map[string]int{}
+	for _, def := range desc.Insts {
+		byCat[def.Info.Cat.String()]++
+	}
+	var cats []string
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Printf("  %-10s %d\n", c, byCat[c])
+	}
+
+	if *verbose {
+		for _, def := range desc.Insts {
+			eff := def.Info.Effects
+			fmt.Printf("%-8s mask=%08x match=%08x cat=%-9s reads=%s writes=%s slots=%d\n",
+				def.Name, def.Mask, def.Match, def.Info.Cat,
+				eff.Reads, eff.Writes, def.Info.DelaySlots)
+			fmt.Printf("         sem: %s\n", def.Sem)
+		}
+	}
+
+	if *genPath != "" {
+		out := spawn.GenerateGo(desc)
+		if err := os.WriteFile(*genPath, []byte(out), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generated %s: %d lines (from a %d-line description)\n",
+			*genPath, strings.Count(out, "\n"), desc.SourceLines)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spawn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,593 @@
+package eel_test
+
+// This file regenerates every measurement in the paper's evaluation
+// (see DESIGN.md's experiment index E1-E15 and EXPERIMENTS.md for
+// paper-vs-measured numbers).  Run with -v to see the tables.
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"eel"
+	"eel/internal/activemem"
+	"eel/internal/alpha"
+	"eel/internal/cfg"
+	"eel/internal/core"
+	"eel/internal/machine"
+	"eel/internal/mips"
+	"eel/internal/progen"
+	"eel/internal/qpt"
+	"eel/internal/sim"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// corpus generates a deterministic program set with the given
+// personality (the SPEC92 substitute).
+func corpus(t testing.TB, personality progen.Personality, programs, routines int) []*progen.Program {
+	t.Helper()
+	out := make([]*progen.Program, programs)
+	for i := range out {
+		cfg := progen.DefaultConfig(int64(1000 + i))
+		cfg.Personality = personality
+		cfg.Routines = routines
+		p, err := progen.Generate(cfg)
+		if err != nil {
+			t.Fatalf("progen: %v", err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// analyze opens a program and builds every routine's CFG.
+func analyze(t testing.TB, p *progen.Program) *eel.Executable {
+	t.Helper()
+	e, err := eel.Load(p.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range e.Routines() {
+		if _, err := r.ControlFlowGraph(); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+	}
+	for {
+		h := e.TakeHidden()
+		if h == nil {
+			break
+		}
+		if _, err := h.ControlFlowGraph(); err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+	}
+	return e
+}
+
+// jumpStats aggregates the paper's §3.3 indirect-jump measurement.
+type jumpStats struct {
+	routines     int
+	instructions uint64
+	indirect     int
+	unanalyzable int
+	tailIdiom    int
+}
+
+func measureJumps(t testing.TB, programs []*progen.Program) jumpStats {
+	t.Helper()
+	var s jumpStats
+	for _, p := range programs {
+		e := analyze(t, p)
+		for _, r := range e.Routines() {
+			g, err := r.ControlFlowGraph()
+			if err != nil {
+				continue
+			}
+			if g.HasData {
+				// A data table under a routine-like symbol: its
+				// "jumps" are garbage words, which EEL classifies
+				// as data, not control flow (§3.1 step 4).
+				continue
+			}
+			s.routines++
+			for _, b := range g.Blocks {
+				if b.Kind == cfg.KindNormal {
+					s.instructions += uint64(len(b.Insts))
+				}
+			}
+			for _, ij := range g.IndirectJumps {
+				s.indirect++
+				if !ij.Resolved {
+					s.unanalyzable++
+					// Attribute to the tail-call pop-and-jump idiom
+					// when the jump reads a global register set by
+					// the caller (the fp-slot protocol uses %g5).
+					last := ij.Block.Last()
+					if last != nil && last.MI.Reads().Has(5) {
+						s.tailIdiom++
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// TestIndirectJumpTableGCC is experiment E2: the gcc/SunOS row of the
+// paper's §3.3 measurement — every indirect jump analyzable.
+func TestIndirectJumpTableGCC(t *testing.T) {
+	s := measureJumps(t, corpus(t, progen.GCC, 6, 40))
+	t.Logf("gcc personality: %d routines, %d instructions, %d indirect jumps, %d unanalyzable",
+		s.routines, s.instructions, s.indirect, s.unanalyzable)
+	if s.indirect == 0 {
+		t.Fatal("corpus produced no indirect jumps")
+	}
+	if s.unanalyzable != 0 {
+		t.Errorf("paper found 0 unanalyzable indirect jumps for gcc; got %d of %d",
+			s.unanalyzable, s.indirect)
+	}
+}
+
+// TestIndirectJumpTableSunPro is experiment E3: the SunPro/Solaris
+// row — a nonzero set of unanalyzable jumps, every one caused by the
+// pop-frame-and-jump tail-call idiom.
+func TestIndirectJumpTableSunPro(t *testing.T) {
+	s := measureJumps(t, corpus(t, progen.SunPro, 6, 40))
+	t.Logf("sunpro personality: %d routines, %d instructions, %d indirect jumps, %d unanalyzable (%d tail idiom)",
+		s.routines, s.instructions, s.indirect, s.unanalyzable, s.tailIdiom)
+	if s.unanalyzable == 0 {
+		t.Fatal("SunPro personality should produce unanalyzable jumps")
+	}
+	if s.tailIdiom != s.unanalyzable {
+		t.Errorf("paper attributes all unanalyzable jumps to the tail-call idiom; got %d of %d",
+			s.tailIdiom, s.unanalyzable)
+	}
+}
+
+// TestUneditableFraction is experiment E4: the paper reports 15-20 %
+// of blocks and edges uneditable.
+func TestUneditableFraction(t *testing.T) {
+	var agg cfg.Stats
+	for _, p := range corpus(t, progen.GCC, 4, 40) {
+		e := analyze(t, p)
+		for _, r := range e.Routines() {
+			g, err := r.ControlFlowGraph()
+			if err != nil {
+				continue
+			}
+			s := g.Stats()
+			agg.Blocks += s.Blocks
+			agg.Edges += s.Edges
+			agg.UneditableB += s.UneditableB
+			agg.UneditableE += s.UneditableE
+		}
+	}
+	bf := 100 * float64(agg.UneditableB) / float64(agg.Blocks)
+	ef := 100 * float64(agg.UneditableE) / float64(agg.Edges)
+	t.Logf("uneditable: %.1f%% of %d blocks, %.1f%% of %d edges (paper: 15-20%%)",
+		bf, agg.Blocks, ef, agg.Edges)
+	if bf < 8 || bf > 30 || ef < 8 || ef > 30 {
+		t.Errorf("uneditable fraction %.1f%%/%.1f%% far from the paper's 15-20%% band", bf, ef)
+	}
+}
+
+// TestCFGBlockBreakdown is experiment E7: the paper's §5 footnote
+// block composition (delay-slot, entry/exit, and call-surrogate
+// blocks dominate the difference vs a naive CFG).
+func TestCFGBlockBreakdown(t *testing.T) {
+	var agg cfg.Stats
+	for _, p := range corpus(t, progen.GCC, 4, 40) {
+		e := analyze(t, p)
+		for _, r := range e.Routines() {
+			g, err := r.ControlFlowGraph()
+			if err != nil {
+				continue
+			}
+			s := g.Stats()
+			agg.Blocks += s.Blocks
+			agg.NormalBlocks += s.NormalBlocks
+			agg.DelaySlotBlocks += s.DelaySlotBlocks
+			agg.EntryExitBlocks += s.EntryExitBlocks
+			agg.CallSurrogates += s.CallSurrogates
+		}
+	}
+	t.Logf("blocks: %d total = %d normal + %d delay-slot + %d entry/exit + %d call-surrogate",
+		agg.Blocks, agg.NormalBlocks, agg.DelaySlotBlocks, agg.EntryExitBlocks, agg.CallSurrogates)
+	if agg.DelaySlotBlocks == 0 || agg.CallSurrogates == 0 || agg.EntryExitBlocks == 0 {
+		t.Error("expected all three synthetic block kinds (paper §5 footnote)")
+	}
+	if agg.Blocks <= agg.NormalBlocks {
+		t.Error("normalization should add blocks over the naive count")
+	}
+}
+
+// TestInstructionSharingFactor is experiment E6: interning one Inst
+// per distinct machine word reduces allocations roughly fourfold
+// (§3.4).
+func TestInstructionSharingFactor(t *testing.T) {
+	p := corpus(t, progen.GCC, 1, 80)[0]
+	dec := sparc.NewDecoder()
+	text := p.File.Text()
+	for a := text.Addr; a+4 <= text.End(); a += 4 {
+		w := uint32(text.Data[a-text.Addr])<<24 | uint32(text.Data[a-text.Addr+1])<<16 |
+			uint32(text.Data[a-text.Addr+2])<<8 | uint32(text.Data[a-text.Addr+3])
+		dec.Decode(w)
+	}
+	decodes, unique := dec.SharingStats()
+	factor := float64(decodes) / float64(unique)
+	t.Logf("decoded %d words, %d unique instruction objects: sharing factor %.1fx (paper: ~4x)",
+		decodes, unique, factor)
+	if factor < 2 {
+		t.Errorf("sharing factor %.1f too low", factor)
+	}
+}
+
+// TestFigure1BranchCounting is experiment E13: the full Figure 1
+// tool validated against emulator ground truth on a known workload.
+func TestFigure1BranchCounting(t *testing.T) {
+	p := corpus(t, progen.GCC, 1, 30)[0]
+	orig := sim.LoadFile(p.File, nil)
+	if err := orig.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := eel.Load(p.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := qpt.Instrument(e, qpt.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := e.BuildEdited()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := sim.LoadFile(edited, nil)
+	if err := cpu.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.ExitCode != orig.ExitCode {
+		t.Fatalf("edited exit %d != %d", cpu.ExitCode, orig.ExitCode)
+	}
+	total := res.Total(cpu.Mem)
+	t.Logf("%d counters, %d branch-edge events recorded, %d→%d instructions",
+		res.Edits, total, orig.InstCount, cpu.InstCount)
+	if total == 0 {
+		t.Error("no branch events recorded")
+	}
+}
+
+// TestActiveMemorySlowdown is experiment E10: the paper reports cache
+// simulation at a 2-7x slowdown.  The instrumented run's miss and
+// access counts are validated exactly against a golden direct-mapped
+// model replayed over the original execution.
+func TestActiveMemorySlowdown(t *testing.T) {
+	gcfg := progen.DefaultConfig(1011)
+	gcfg.Routines = 40
+	gcfg.MemHeavy = true
+	p, err0 := progen.Generate(gcfg)
+	if err0 != nil {
+		t.Fatal(err0)
+	}
+	cc := activemem.DefaultConfig()
+
+	orig := sim.LoadFile(p.File, nil)
+	if err := orig.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := eel.Load(p.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := activemem.Instrument(e, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := e.BuildEdited()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := sim.LoadFile(edited, nil)
+	if err := cpu.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.ExitCode != orig.ExitCode {
+		t.Fatalf("edited exit diverged")
+	}
+	accesses, misses := res.Counts(cpu.Mem)
+	slowdown := float64(cpu.InstCount) / float64(orig.InstCount)
+	t.Logf("accesses %d, misses %d, slowdown %.1fx (paper: 2-7x)", accesses, misses, slowdown)
+	if slowdown < 1.2 || slowdown > 10 {
+		t.Errorf("slowdown %.1fx outside plausible band", slowdown)
+	}
+
+	// Golden model: replay the original execution, simulating the
+	// same cache at exactly the instrumented sites.
+	sites := map[uint32]bool{}
+	for _, a := range res.SiteAddrs {
+		sites[a] = true
+	}
+	tags := make(map[uint32]uint32)
+	inTag := make(map[uint32]bool)
+	var gAcc, gMiss uint64
+	replay := sim.LoadFile(p.File, nil)
+	replay.OnExec = func(pc uint32, inst *machine.Inst) {
+		if !sites[pc] {
+			return
+		}
+		rs1F, _ := inst.Field("rs1")
+		iflag, _ := inst.Field("iflag")
+		ea := replay.R[rs1F&31]
+		if rs1F == 0 {
+			ea = 0
+		}
+		if iflag == 1 {
+			simmF, _ := inst.Field("simm13")
+			ea += uint32(int32(simmF<<19) >> 19)
+		} else {
+			rs2F, _ := inst.Field("rs2")
+			v := replay.R[rs2F&31]
+			if rs2F == 0 {
+				v = 0
+			}
+			ea += v
+		}
+		block := ea >> 4
+		set := block & uint32(cc.Sets-1)
+		gAcc++
+		if !inTag[set] || tags[set] != block {
+			gMiss++
+		}
+		tags[set] = block
+		inTag[set] = true
+	}
+	if err := replay.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if gAcc != accesses || gMiss != misses {
+		t.Errorf("instrumented counts %d/%d != golden model %d/%d", accesses, misses, gAcc, gMiss)
+	}
+}
+
+// TestBlizzardCCOptimization is experiment E11: the fraction of
+// instrumentation sites where the condition codes are dead — where
+// Blizzard's faster cc-clobbering access test is legal (§5).
+func TestBlizzardCCOptimization(t *testing.T) {
+	deadSites, liveSites := 0, 0
+	for _, p := range corpus(t, progen.GCC, 2, 40) {
+		e := analyze(t, p)
+		for _, r := range e.Routines() {
+			g, err := r.ControlFlowGraph()
+			if err != nil {
+				continue
+			}
+			lv := eel.ComputeLiveness(g)
+			for _, b := range g.Blocks {
+				if b.Uneditable || b.Kind != cfg.KindNormal {
+					continue
+				}
+				for i, in := range b.Insts {
+					if !in.MI.Category().IsMemory() {
+						continue
+					}
+					if lv.LiveBefore(b, i).Has(machine.RegPSR) {
+						liveSites++
+					} else {
+						deadSites++
+					}
+				}
+			}
+		}
+	}
+	frac := 100 * float64(deadSites) / float64(deadSites+liveSites)
+	t.Logf("condition codes dead at %d/%d memory sites (%.1f%%): the fast Blizzard test applies there",
+		deadSites, deadSites+liveSites, frac)
+	if deadSites == 0 || liveSites == 0 {
+		t.Error("expected a mix of cc-dead and cc-live sites")
+	}
+}
+
+// TestSpawnConciseness is experiment E9: the paper's §4 line counts —
+// descriptions an order of magnitude smaller than the code derived
+// from them (SPARC: 145-line description vs 2,268 handwritten and
+// 6,178 generated lines; MIPS: 128 lines).
+func TestSpawnConciseness(t *testing.T) {
+	sparcGen := strings.Count(spawn.GenerateGo(sparc.Desc()), "\n")
+	mipsGen := strings.Count(spawn.GenerateGo(mips.Desc()), "\n")
+	alphaGen := strings.Count(spawn.GenerateGo(alpha.Desc()), "\n")
+	handwritten := countGoLines(t, "internal/sparc")
+	t.Logf("%-8s %12s %12s %22s", "machine", "description", "generated", "handwritten glue (Go)")
+	t.Logf("%-8s %12d %12d %22d", "sparc", sparc.Desc().SourceLines, sparcGen, handwritten)
+	t.Logf("%-8s %12d %12d", "mips32e", mips.Desc().SourceLines, mipsGen)
+	t.Logf("%-8s %12d %12d", "alpha64e", alpha.Desc().SourceLines, alphaGen)
+	if sparc.Desc().SourceLines > 200 {
+		t.Errorf("SPARC description %d lines; paper's was 145", sparc.Desc().SourceLines)
+	}
+	if sparcGen < 3*sparc.Desc().SourceLines {
+		t.Errorf("generated tables (%d lines) should dwarf the description (%d)",
+			sparcGen, sparc.Desc().SourceLines)
+	}
+}
+
+// countGoLines counts non-blank, non-comment lines of .go files
+// (excluding tests) under dir.
+func countGoLines(t testing.TB, dir string) int {
+	t.Helper()
+	total := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+				continue
+			}
+			total++
+		}
+	}
+	return total
+}
+
+// TestLineCountInventory is experiment E12: the paper's §5 code-size
+// comparison, reproduced as this repository's module inventory.
+func TestLineCountInventory(t *testing.T) {
+	dirs := []string{
+		".", "internal/machine", "internal/rtl", "internal/spawn",
+		"internal/sparc", "internal/mips", "internal/asm",
+		"internal/binfile", "internal/aout", "internal/elf32",
+		"internal/cfg", "internal/dataflow", "internal/core",
+		"internal/sim", "internal/progen", "internal/qpt",
+		"internal/activemem", "internal/toolmain",
+	}
+	total := 0
+	for _, d := range dirs {
+		n := countGoLines(t, d)
+		total += n
+		t.Logf("%-22s %6d lines", d, n)
+	}
+	t.Logf("%-22s %6d lines (paper: EEL itself was 13,960 lines of C++)", "total (non-test)", total)
+	// The EEL-based tool should be a small fraction of the library,
+	// as qpt2's 6,276 lines were of the old qpt's 14,500.
+	toolLines := countGoLines(t, "internal/qpt")
+	if toolLines > total/5 {
+		t.Errorf("the qpt tool (%d lines) should be small relative to the library (%d)", toolLines, total)
+	}
+}
+
+// TestTable1 is experiment E1: the paper's Table 1 — the ad-hoc tool
+// (qpt) vs the EEL-based tool (qpt2), with and without optimization.
+// Columns: instrumentation time, edited program size, and edited
+// program run length (the paper's size/time tradeoff).
+func TestTable1(t *testing.T) {
+	p := corpus(t, progen.GCC, 1, 60)[0]
+	orig := sim.LoadFile(p.File, nil)
+	if err := orig.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	type variant struct {
+		name string
+		mode qpt.Mode
+		opts func(e *core.Executable)
+	}
+	variants := []variant{
+		{"qpt (ad-hoc)", qpt.Light, nil},
+		{"qpt2", qpt.Full, func(e *core.Executable) {
+			e.Scavenge = false
+			e.FoldDelaySlots = false
+		}},
+		{"qpt2 -O2", qpt.Full, nil},
+	}
+	t.Logf("%-14s %12s %12s %14s (original: %d bytes text, %d insts)",
+		"tool", "instr time", "text bytes", "run insts", len(p.File.Text().Data), orig.InstCount)
+	for _, v := range variants {
+		e, err := eel.Load(p.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.opts != nil {
+			v.opts(e)
+		}
+		start := time.Now()
+		if _, err := qpt.Instrument(e, v.mode); err != nil {
+			t.Fatal(err)
+		}
+		edited, err := e.BuildEdited()
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		cpu := sim.LoadFile(edited, nil)
+		if err := cpu.Run(2_000_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if cpu.ExitCode != orig.ExitCode {
+			t.Fatalf("%s: behaviour diverged", v.name)
+		}
+		t.Logf("%-14s %10.1fms %12d %14d", v.name,
+			float64(elapsed.Microseconds())/1000, len(edited.Text().Data), cpu.InstCount)
+	}
+}
+
+// TestAllocationComparison is experiment E8: the EEL tool allocates
+// more objects than the ad-hoc one (paper: 317,494 vs 84,655),
+// the price of explicit program representations.
+func TestAllocationComparison(t *testing.T) {
+	p := corpus(t, progen.GCC, 1, 40)[0]
+	run := func(mode qpt.Mode) uint64 {
+		return allocsDuring(t, func() {
+			e, err := eel.Load(p.File)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := qpt.Instrument(e, mode); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.BuildEdited(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	light := run(qpt.Light)
+	full := run(qpt.Full)
+	t.Logf("heap objects allocated: ad-hoc %d, EEL %d (%.1fx; the paper's 3.8x compared two unrelated implementations)",
+		light, full, float64(full)/float64(light))
+
+	// The object-count effect the paper attributes to explicit
+	// program representations shows directly in the interning
+	// ablation: decoding the corpus without instruction sharing.
+	text := p.File.Text()
+	decodeAll := func(intern bool) uint64 {
+		return allocsDuring(t, func() {
+			dec := sparc.NewDecoder()
+			dec.SetIntern(intern)
+			for a := text.Addr; a+4 <= text.End(); a += 4 {
+				w := uint32(text.Data[a-text.Addr])<<24 | uint32(text.Data[a-text.Addr+1])<<16 |
+					uint32(text.Data[a-text.Addr+2])<<8 | uint32(text.Data[a-text.Addr+3])
+				dec.Decode(w)
+			}
+		})
+	}
+	shared := decodeAll(true)
+	unshared := decodeAll(false)
+	t.Logf("decode allocations: %d interned vs %d uninterned (%.1fx saved — the §3.4 factor)",
+		shared, unshared, float64(unshared)/float64(shared))
+	if unshared <= shared {
+		t.Error("interning should reduce allocations")
+	}
+}
+
+func allocsDuring(t testing.TB, f func()) uint64 {
+	t.Helper()
+	var before, after memStats
+	readMemStats(&before)
+	f()
+	readMemStats(&after)
+	return after.mallocs - before.mallocs
+}
+
+// memStats is the slice of runtime.MemStats we need.
+type memStats struct{ mallocs uint64 }
+
+func readMemStats(m *memStats) {
+	var rs runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&rs)
+	m.mallocs = rs.Mallocs
+}

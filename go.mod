@@ -1,0 +1,3 @@
+module eel
+
+go 1.22

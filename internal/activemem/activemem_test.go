@@ -1,0 +1,147 @@
+package activemem_test
+
+import (
+	"testing"
+
+	"eel/internal/activemem"
+	"eel/internal/asm"
+	"eel/internal/binfile"
+	"eel/internal/core"
+	"eel/internal/sim"
+)
+
+func makeExec(t *testing.T, src string) *core.Executable {
+	t.Helper()
+	prog, err := asm.Assemble(src, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &binfile.File{
+		Format: "aout",
+		Entry:  0x10000,
+		Sections: []binfile.Section{
+			{Name: "text", Addr: 0x10000, Data: prog.Bytes},
+			{Name: "data", Addr: 0x400000, Data: make([]byte, 4096)},
+		},
+		Symbols: []binfile.Symbol{{Name: "main", Addr: 0x10000, Kind: binfile.SymFunc, Global: true}},
+	}
+	e, err := core.NewExecutable(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReadContents(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestExactCountsKnownPattern validates the inline cache test on a
+// hand-computed access pattern.
+func TestExactCountsKnownPattern(t *testing.T) {
+	// Four accesses: A, A (hit), A+16 (miss: new line), A (miss:
+	// 2-set cache with 16B lines — A and A+16 map to different sets,
+	// so the last A hits!).  With sets=2: set(A)=0, set(A+16)=1:
+	// pattern A(miss) A(hit) A+16(miss) A(hit) = 3 hits... recount:
+	// accesses: 4, misses: 2.
+	src := `
+main:	set 0x400100, %l0
+	ld [%l0], %o1
+	ld [%l0], %o1
+	ld [%l0+16], %o1
+	ld [%l0], %o1
+	mov 1, %g1
+	ta 0
+`
+	e := makeExec(t, src)
+	res, err := activemem.Instrument(e, activemem.Config{LineBytes: 16, Sets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites != 4 {
+		t.Fatalf("sites = %d", res.Sites)
+	}
+	edited, err := e.BuildEdited()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := sim.LoadFile(edited, nil)
+	if err := cpu.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	acc, miss := res.Counts(cpu.Mem)
+	if acc != 4 || miss != 2 {
+		t.Errorf("accesses=%d misses=%d, want 4/2", acc, miss)
+	}
+}
+
+func TestConflictMisses(t *testing.T) {
+	// A and A+32 collide in a 2-set 16B-line cache (both set 0):
+	// alternating accesses always miss.
+	src := `
+main:	set 0x400100, %l0
+	mov 3, %l1
+loop:	ld [%l0], %o1
+	ld [%l0+32], %o1
+	subcc %l1, 1, %l1
+	bne loop
+	nop
+	mov 1, %g1
+	ta 0
+`
+	e := makeExec(t, src)
+	res, err := activemem.Instrument(e, activemem.Config{LineBytes: 16, Sets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := e.BuildEdited()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := sim.LoadFile(edited, nil)
+	if err := cpu.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	acc, miss := res.Counts(cpu.Mem)
+	if acc != 6 || miss != 6 {
+		t.Errorf("accesses=%d misses=%d, want 6/6 (pure conflict)", acc, miss)
+	}
+}
+
+func TestRegisterIndexedAddress(t *testing.T) {
+	src := `
+main:	set 0x400100, %l0
+	mov 8, %l1
+	ld [%l0+%l1], %o1
+	mov 1, %g1
+	ta 0
+`
+	e := makeExec(t, src)
+	res, err := activemem.Instrument(e, activemem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := e.BuildEdited()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := sim.LoadFile(edited, nil)
+	if err := cpu.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if acc, _ := res.Counts(cpu.Mem); acc != 1 {
+		t.Errorf("accesses = %d", acc)
+	}
+	if cpu.ExitCode != 0 {
+		t.Errorf("exit = %d", cpu.ExitCode)
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	e := makeExec(t, "main:\tmov 1, %g1\n\tta 0\n")
+	if _, err := activemem.Instrument(e, activemem.Config{LineBytes: 12, Sets: 4}); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := activemem.Instrument(e, activemem.Config{LineBytes: 16, Sets: 3}); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}

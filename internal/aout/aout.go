@@ -1,0 +1,178 @@
+// Package aout implements a simple a.out-style executable container:
+// a fixed big-endian header, length-prefixed sections, and a flat
+// symbol table.  It stands in for the SunOS a.out format the paper's
+// system consumed, and registers itself with binfile.
+package aout
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"eel/internal/binfile"
+)
+
+// Magic identifies an a.out-style image ("WEXE").
+const Magic = 0x57455845
+
+const version = 1
+
+type format struct{}
+
+func init() { binfile.RegisterFormat(format{}) }
+
+// FormatName is the name this format registers under.
+const FormatName = "aout"
+
+func (format) Name() string { return FormatName }
+
+func (format) Detect(data []byte) bool {
+	return len(data) >= 8 && binary.BigEndian.Uint32(data) == Magic
+}
+
+// Layout:
+//
+//	u32 magic, u32 version, u32 entry, u32 nsections, u32 nsymbols
+//	per section: u32 namelen, name bytes, u32 addr, u32 size, data
+//	per symbol:  u32 namelen, name bytes, u32 addr, u32 size,
+//	             u8 kind, u8 global
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, fmt.Errorf("aout: truncated at offset %d", r.off)
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, fmt.Errorf("aout: truncated at offset %d", r.off)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) bytes(n uint32) ([]byte, error) {
+	if uint32(len(r.data)-r.off) < n {
+		return nil, fmt.Errorf("aout: truncated at offset %d (want %d bytes)", r.off, n)
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("aout: implausible name length %d", n)
+	}
+	b, err := r.bytes(n)
+	return string(b), err
+}
+
+func (format) Read(data []byte) (*binfile.File, error) {
+	r := &reader{data: data}
+	magic, err := r.u32()
+	if err != nil || magic != Magic {
+		return nil, fmt.Errorf("aout: bad magic")
+	}
+	if v, err := r.u32(); err != nil || v != version {
+		return nil, fmt.Errorf("aout: unsupported version")
+	}
+	f := &binfile.File{Format: FormatName}
+	if f.Entry, err = r.u32(); err != nil {
+		return nil, err
+	}
+	nsect, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nsym, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nsect > 64 || nsym > 1<<22 {
+		return nil, fmt.Errorf("aout: implausible counts (%d sections, %d symbols)", nsect, nsym)
+	}
+	for i := uint32(0); i < nsect; i++ {
+		var s binfile.Section
+		if s.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if s.Addr, err = r.u32(); err != nil {
+			return nil, err
+		}
+		size, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.bytes(size)
+		if err != nil {
+			return nil, err
+		}
+		s.Data = append([]byte(nil), raw...)
+		f.Sections = append(f.Sections, s)
+	}
+	for i := uint32(0); i < nsym; i++ {
+		var sym binfile.Symbol
+		if sym.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if sym.Addr, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if sym.Size, err = r.u32(); err != nil {
+			return nil, err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		global, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		sym.Kind = binfile.SymKind(kind)
+		sym.Global = global != 0
+		f.Symbols = append(f.Symbols, sym)
+	}
+	return f, nil
+}
+
+func (format) Write(f *binfile.File) ([]byte, error) {
+	var out []byte
+	u32 := func(v uint32) { out = binary.BigEndian.AppendUint32(out, v) }
+	str := func(s string) { u32(uint32(len(s))); out = append(out, s...) }
+	u32(Magic)
+	u32(version)
+	u32(f.Entry)
+	u32(uint32(len(f.Sections)))
+	u32(uint32(len(f.Symbols)))
+	for _, s := range f.Sections {
+		str(s.Name)
+		u32(s.Addr)
+		u32(uint32(len(s.Data)))
+		out = append(out, s.Data...)
+	}
+	for _, sym := range f.Symbols {
+		str(sym.Name)
+		u32(sym.Addr)
+		u32(sym.Size)
+		out = append(out, byte(sym.Kind))
+		if sym.Global {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package aout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eel/internal/binfile"
+)
+
+func sample() *binfile.File {
+	return &binfile.File{
+		Format: FormatName,
+		Entry:  0x10000,
+		Sections: []binfile.Section{
+			{Name: "text", Addr: 0x10000, Data: []byte{1, 2, 3, 4}},
+			{Name: "data", Addr: 0x20000, Data: []byte{9}},
+		},
+		Symbols: []binfile.Symbol{
+			{Name: "main", Addr: 0x10000, Size: 4, Kind: binfile.SymFunc, Global: true},
+			{Name: ".L1", Addr: 0x10004, Kind: binfile.SymDebug},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	img, err := (format{}).Write(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(format{}).Detect(img) {
+		t.Fatal("own image not detected")
+	}
+	got, err := (format{}).Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Entry != want.Entry || len(got.Sections) != 2 || len(got.Symbols) != 2 {
+		t.Fatalf("shape: %+v", got)
+	}
+	if got.Text() == nil || string(got.Text().Data) != string(want.Text().Data) {
+		t.Error("text mismatch")
+	}
+	if got.Symbols[0].Name != "main" || got.Symbols[0].Kind != binfile.SymFunc || !got.Symbols[0].Global {
+		t.Errorf("symbol 0: %+v", got.Symbols[0])
+	}
+	if got.Symbols[1].Kind != binfile.SymDebug || got.Symbols[1].Global {
+		t.Errorf("symbol 1: %+v", got.Symbols[1])
+	}
+}
+
+func TestTruncationsRejected(t *testing.T) {
+	img, _ := (format{}).Write(sample())
+	for n := 0; n < len(img); n += 3 {
+		if _, err := (format{}).Read(img[:n]); err == nil {
+			t.Errorf("accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestReadNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		// Prepend the magic half the time so parsing gets past
+		// detection and exercises deeper paths.
+		if len(data) > 0 && data[0]&1 == 0 {
+			data = append([]byte{0x57, 0x45, 0x58, 0x45, 0, 0, 0, 1}, data...)
+		}
+		_, _ = (format{}).Read(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImplausibleCountsRejected(t *testing.T) {
+	// magic, version, entry, huge nsect
+	img := []byte{
+		0x57, 0x45, 0x58, 0x45,
+		0, 0, 0, 1,
+		0, 1, 0, 0,
+		0xff, 0xff, 0xff, 0xff, // nsect
+		0, 0, 0, 0,
+	}
+	if _, err := (format{}).Read(img); err == nil {
+		t.Error("accepted absurd section count")
+	}
+}

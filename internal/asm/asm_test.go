@@ -1,0 +1,289 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eel/internal/machine"
+	"eel/internal/sparc"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, 0x10000)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// decodeName decodes a word and returns its mnemonic.
+func decodeName(w uint32) string {
+	return sparc.NewDecoder().Decode(w).Name()
+}
+
+func TestMnemonicsRoundTrip(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string
+	}{
+		{"add %g1, %g2, %g3", "add"},
+		{"add %g1, 5, %g3", "add"},
+		{"sub %o0, -1, %o0", "sub"},
+		{"subcc %l0, 1, %l0", "subcc"},
+		{"and %g1, 0xff, %g2", "and"},
+		{"sll %g1, 2, %g2", "sll"},
+		{"sra %g1, 2, %g2", "sra"},
+		{"smul %g1, %g2, %g3", "smul"},
+		{"udiv %g1, %g2, %g3", "udiv"},
+		{"ld [%g1], %g2", "ld"},
+		{"ld [%g1+4], %g2", "ld"},
+		{"ld [%g1+%g2], %g3", "ld"},
+		{"ldub [%g1-1], %g2", "ldub"},
+		{"ldsh [%g1+2], %g2", "ldsh"},
+		{"st %g2, [%g1]", "st"},
+		{"stb %g2, [%g1+1]", "stb"},
+		{"ldd [%g2], %o2", "ldd"},
+		{"std %o2, [%g2]", "std"},
+		{"swap [%g1], %g2", "swap"},
+		{"sethi 0x1234, %g1", "sethi"},
+		{"save %sp, -96, %sp", "save"},
+		{"ta 0", "ta"},
+		{"fadds %f0, %f1, %f2", "fadds"},
+		{"fcmps %f0, %f1", "fcmps"},
+		{"fmovs %f1, %f2", "fmovs"},
+		{"ldf [%g1], %f0", "ldf"},
+		{"stf %f0, [%g1]", "stf"},
+		{"rd %y, %g1", "rdy"},
+		{"wr %g1, %y", "wry"},
+	}
+	for _, c := range cases {
+		p := assemble(t, c.src)
+		if got := decodeName(p.Words()[0]); got != c.name {
+			t.Errorf("%q assembled to %s (%08x)", c.src, got, p.Words()[0])
+		}
+	}
+}
+
+func TestPseudoExpansions(t *testing.T) {
+	// nop = sethi 0, %g0
+	if w := assemble(t, "nop").Words()[0]; w != sparc.Nop() {
+		t.Errorf("nop = %08x", w)
+	}
+	// mov imm -> or %g0, imm, rd
+	p := assemble(t, "mov 7, %o1")
+	inst := sparc.NewDecoder().Decode(p.Words()[0])
+	if inst.Name() != "or" {
+		t.Errorf("mov = %s", inst.Name())
+	}
+	// set expands to two words.
+	p2 := assemble(t, "set 0x12345678, %g1")
+	if len(p2.Words()) != 2 {
+		t.Fatalf("set emitted %d words", len(p2.Words()))
+	}
+	if decodeName(p2.Words()[0]) != "sethi" || decodeName(p2.Words()[1]) != "or" {
+		t.Errorf("set = %s/%s", decodeName(p2.Words()[0]), decodeName(p2.Words()[1]))
+	}
+	// cmp = subcc with %g0 destination.
+	p3 := assemble(t, "cmp %o0, 3")
+	i3 := sparc.NewDecoder().Decode(p3.Words()[0])
+	if i3.Name() != "subcc" || i3.Writes().Has(0) {
+		t.Errorf("cmp = %s writes %s", i3.Name(), i3.Writes())
+	}
+	// ret / retl are return-category jmpls.
+	for _, src := range []string{"ret", "retl"} {
+		pi := assemble(t, src)
+		if c := sparc.NewDecoder().Decode(pi.Words()[0]).Category(); c != machine.CatReturn {
+			t.Errorf("%s category = %s", src, c)
+		}
+	}
+}
+
+func TestSetValueReconstructs(t *testing.T) {
+	f := func(v uint32) bool {
+		p, err := Assemble("set "+hex(v)+", %g1", 0x10000)
+		if err != nil {
+			return false
+		}
+		// Execute mentally: sethi hi<<10 | lo reconstructs v.
+		dec := sparc.NewDecoder()
+		hi := dec.Decode(p.Words()[0])
+		lo := dec.Decode(p.Words()[1])
+		imm22, _ := hi.Field("imm22")
+		simm, _ := lo.Field("simm13")
+		return imm22<<10|simm == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, 10)
+	out = append(out, '0', 'x')
+	started := false
+	for i := 28; i >= 0; i -= 4 {
+		d := (v >> i) & 0xf
+		if d != 0 || started || i == 0 {
+			started = true
+			out = append(out, digits[d])
+		}
+	}
+	return string(out)
+}
+
+func TestBranchTargets(t *testing.T) {
+	p := assemble(t, `
+	nop
+back:	nop
+	ba back
+	nop
+	bne,a back
+	nop
+	call back
+	nop
+`)
+	words := p.Words()
+	dec := sparc.NewDecoder()
+	// ba at offset 2 (addr 0x10008) targets 0x10004.
+	ba := dec.Decode(words[2])
+	if tgt, ok := ba.StaticTarget(0x10008); !ok || tgt != 0x10004 {
+		t.Errorf("ba target %#x ok=%v", tgt, ok)
+	}
+	bne := dec.Decode(words[4])
+	if !bne.AnnulBit() {
+		t.Error("',a' suffix lost")
+	}
+	if tgt, ok := bne.StaticTarget(0x10010); !ok || tgt != 0x10004 {
+		t.Errorf("bne target %#x ok=%v", tgt, ok)
+	}
+	call := dec.Decode(words[6])
+	if tgt, ok := call.StaticTarget(0x10018); !ok || tgt != 0x10004 {
+		t.Errorf("call target %#x ok=%v", tgt, ok)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := assemble(t, `
+	.word 0xdeadbeef, 42
+	.half 0x1234
+	.byte 1, 2
+	.align 4
+	.skip 8
+lbl:	.asciz "hi"
+`)
+	b := p.Bytes
+	if b[0] != 0xde || b[3] != 0xef {
+		t.Errorf(".word bytes: % x", b[:4])
+	}
+	if b[7] != 42 {
+		t.Errorf(".word 42: % x", b[4:8])
+	}
+	if b[8] != 0x12 || b[9] != 0x34 {
+		t.Errorf(".half: % x", b[8:10])
+	}
+	if b[10] != 1 || b[11] != 2 {
+		t.Errorf(".byte: % x", b[10:12])
+	}
+	// .align 4 pads to 12 (already aligned), .skip 8 zeros.
+	lbl := p.Labels["lbl"]
+	if lbl != 0x10000+20 {
+		t.Errorf("lbl at %#x", lbl)
+	}
+	if string(b[lbl-0x10000:lbl-0x10000+3]) != "hi\x00" {
+		t.Errorf("asciz = % x", b[lbl-0x10000:lbl-0x10000+3])
+	}
+}
+
+func TestLabelArithmetic(t *testing.T) {
+	p := assemble(t, `
+tab:	.word tab+8
+	.word tab-4
+	nop
+`)
+	w := p.Words()
+	if w[0] != 0x10008 {
+		t.Errorf("tab+8 = %#x", w[0])
+	}
+	if w[1] != 0x0fffc {
+		t.Errorf("tab-4 = %#x", w[1])
+	}
+}
+
+func TestHiLoOperators(t *testing.T) {
+	p := assemble(t, `
+	sethi %hi(target), %g1
+	or %g1, %lo(target), %g1
+	nop
+	nop
+target:	nop
+`)
+	dec := sparc.NewDecoder()
+	hi := dec.Decode(p.Words()[0])
+	lo := dec.Decode(p.Words()[1])
+	imm22, _ := hi.Field("imm22")
+	simm, _ := lo.Field("simm13")
+	if imm22<<10|simm != p.Labels["target"] {
+		t.Errorf("hi/lo reconstruct %#x, want %#x", imm22<<10|simm, p.Labels["target"])
+	}
+}
+
+func TestCommentsAndLabels(t *testing.T) {
+	p := assemble(t, `
+! full line comment
+a:	nop        ! trailing
+b: c:	nop        ; semicolon comment
+	nop        // slashes
+`)
+	if len(p.Words()) != 3 {
+		t.Fatalf("words = %d", len(p.Words()))
+	}
+	if p.Labels["a"] != 0x10000 || p.Labels["b"] != 0x10004 || p.Labels["c"] != 0x10004 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"bogus %g1, %g2, %g3",
+		"add %g1, %g2",        // missing operand
+		"add %q1, %g2, %g3",   // bad register
+		"ld %g1, %g2",         // unbracketed memory operand
+		"add %g1, 99999, %g3", // immediate out of range
+		"ba nowhere",          // unresolved label
+		"dup: nop\ndup: nop",  // duplicate label
+		".ascii unquoted",     // bad string
+		"set 1, %g1, %g2",     // too many operands
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src, 0x10000); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestAssembleNeverPanics(t *testing.T) {
+	words := []string{"add", "ld", "st", "ba", "call", "%g1", "%o0", "[%g1]",
+		"1", ",", ":", "nop", ".word", "set", "label", "\n", "\t", "%hi(x)"}
+	f := func(idx []uint8) bool {
+		var b strings.Builder
+		for _, i := range idx {
+			b.WriteString(words[int(i)%len(words)])
+			b.WriteByte(' ')
+		}
+		_, _ = Assemble(b.String(), 0x10000)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordsRequiresAlignment(t *testing.T) {
+	p := assemble(t, ".byte 1, 2, 3, 4\n.byte 5, 6, 7, 8")
+	if len(p.Words()) != 2 {
+		t.Errorf("words = %d", len(p.Words()))
+	}
+}

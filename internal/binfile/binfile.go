@@ -1,0 +1,189 @@
+// Package binfile is EEL's executable-container abstraction — the
+// role GNU bfd plays in the paper (§4): one interface over multiple
+// executable file formats, so everything above it is
+// format-independent.  Two formats register themselves: a simple
+// a.out-style container (internal/aout) and big-endian ELF32/SPARC
+// (internal/elf32).
+package binfile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// SymKind classifies a symbol the way EEL's symbol-table refinement
+// (paper §3.1) needs: probable routines, data, compiler-internal
+// labels, and debug/temporary labels.
+type SymKind int
+
+// Symbol kinds.
+const (
+	// SymFunc labels a routine entry.
+	SymFunc SymKind = iota
+	// SymData labels a data object.
+	SymData
+	// SymLabel is an internal (local, untyped) label.
+	SymLabel
+	// SymDebug is a debugging or temporary label that refinement
+	// discards immediately.
+	SymDebug
+)
+
+var symKindNames = [...]string{"func", "data", "label", "debug"}
+
+// String returns the kind's short name.
+func (k SymKind) String() string {
+	if int(k) < len(symKindNames) {
+		return symKindNames[k]
+	}
+	return fmt.Sprintf("symkind(%d)", int(k))
+}
+
+// Symbol is one symbol-table entry.
+type Symbol struct {
+	Name   string
+	Addr   uint32
+	Size   uint32
+	Kind   SymKind
+	Global bool
+}
+
+// Section is one loadable section.
+type Section struct {
+	Name string // "text" or "data"
+	Addr uint32
+	Data []byte
+}
+
+// End returns the address one past the section.
+func (s *Section) End() uint32 { return s.Addr + uint32(len(s.Data)) }
+
+// Contains reports whether addr falls inside the section.
+func (s *Section) Contains(addr uint32) bool { return addr >= s.Addr && addr < s.End() }
+
+// File is a format-independent executable image.
+type File struct {
+	Format   string
+	Entry    uint32
+	Sections []Section
+	Symbols  []Symbol
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].Name == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Text returns the text (code) section, or nil.
+func (f *File) Text() *Section { return f.Section("text") }
+
+// Data returns the data section, or nil.
+func (f *File) Data() *Section { return f.Section("data") }
+
+// SortSymbols orders symbols by address, then name, in place.
+func (f *File) SortSymbols() {
+	sort.SliceStable(f.Symbols, func(i, j int) bool {
+		if f.Symbols[i].Addr != f.Symbols[j].Addr {
+			return f.Symbols[i].Addr < f.Symbols[j].Addr
+		}
+		return f.Symbols[i].Name < f.Symbols[j].Name
+	})
+}
+
+// Strip removes all symbols, modeling a stripped executable
+// (paper §3.1 step 2).
+func (f *File) Strip() { f.Symbols = nil }
+
+// Format reads and writes one concrete container format.
+type Format interface {
+	// Name identifies the format ("aout", "elf32").
+	Name() string
+	// Detect reports whether data looks like this format.
+	Detect(data []byte) bool
+	// Read parses an image.
+	Read(data []byte) (*File, error)
+	// Write serializes an image.
+	Write(f *File) ([]byte, error)
+}
+
+var (
+	mu      sync.Mutex
+	formats []Format
+)
+
+// RegisterFormat adds a format to the detection list.
+func RegisterFormat(f Format) {
+	mu.Lock()
+	defer mu.Unlock()
+	formats = append(formats, f)
+}
+
+// ErrUnknownFormat reports undetectable input.
+var ErrUnknownFormat = errors.New("binfile: unrecognized executable format")
+
+func lookup(name string) (Format, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range formats {
+		if f.Name() == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("binfile: no format %q registered", name)
+}
+
+// Read parses data, auto-detecting its format.
+func Read(data []byte) (*File, error) {
+	mu.Lock()
+	regs := append([]Format(nil), formats...)
+	mu.Unlock()
+	for _, f := range regs {
+		if f.Detect(data) {
+			file, err := f.Read(data)
+			if err != nil {
+				return nil, fmt.Errorf("binfile: reading %s image: %w", f.Name(), err)
+			}
+			file.Format = f.Name()
+			return file, nil
+		}
+	}
+	return nil, ErrUnknownFormat
+}
+
+// Write serializes file in its declared format.
+func Write(file *File) ([]byte, error) {
+	f, err := lookup(file.Format)
+	if err != nil {
+		return nil, err
+	}
+	return f.Write(file)
+}
+
+// ReadFile reads and parses the executable at path.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("binfile: %w", err)
+	}
+	return Read(data)
+}
+
+// WriteFile serializes file and writes it to path.
+func WriteFile(path string, file *File) error {
+	data, err := Write(file)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o755); err != nil {
+		return fmt.Errorf("binfile: %w", err)
+	}
+	return nil
+}

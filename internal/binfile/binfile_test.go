@@ -1,0 +1,120 @@
+package binfile_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	_ "eel/internal/aout"
+	"eel/internal/binfile"
+	_ "eel/internal/elf32"
+)
+
+func sample(format string) *binfile.File {
+	return &binfile.File{
+		Format: format,
+		Entry:  0x10000,
+		Sections: []binfile.Section{
+			{Name: "text", Addr: 0x10000, Data: []byte{0, 1, 2, 3}},
+			{Name: "data", Addr: 0x20000, Data: []byte{4, 5, 6, 7}},
+		},
+		Symbols: []binfile.Symbol{
+			{Name: "b", Addr: 0x10000, Kind: binfile.SymFunc},
+			{Name: "a", Addr: 0x10000, Kind: binfile.SymLabel},
+			{Name: "z", Addr: 0x0f000, Kind: binfile.SymData},
+		},
+	}
+}
+
+func TestAutoDetectBothFormats(t *testing.T) {
+	for _, f := range []string{"aout", "elf32"} {
+		img, err := binfile.Write(sample(f))
+		if err != nil {
+			t.Fatalf("%s write: %v", f, err)
+		}
+		got, err := binfile.Read(img)
+		if err != nil {
+			t.Fatalf("%s read: %v", f, err)
+		}
+		if got.Format != f {
+			t.Errorf("detected %q, want %q", got.Format, f)
+		}
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if _, err := binfile.Read([]byte("not an executable at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := binfile.Write(&binfile.File{Format: "tape-archive"}); err == nil {
+		t.Error("unknown write format accepted")
+	}
+}
+
+func TestSectionHelpers(t *testing.T) {
+	f := sample("aout")
+	s := f.Section("data")
+	if s == nil || s.Addr != 0x20000 {
+		t.Fatal("Section lookup failed")
+	}
+	if f.Section("bss") != nil {
+		t.Error("phantom section")
+	}
+	if !s.Contains(0x20003) || s.Contains(0x20004) || s.Contains(0x1ffff) {
+		t.Error("Contains boundaries wrong")
+	}
+	if s.End() != 0x20004 {
+		t.Errorf("End = %#x", s.End())
+	}
+}
+
+func TestSortSymbolsStable(t *testing.T) {
+	f := sample("aout")
+	f.SortSymbols()
+	// Sorted by address then name: z (0xf000), then a, b at 0x10000.
+	if f.Symbols[0].Name != "z" || f.Symbols[1].Name != "a" || f.Symbols[2].Name != "b" {
+		t.Errorf("order: %v %v %v", f.Symbols[0].Name, f.Symbols[1].Name, f.Symbols[2].Name)
+	}
+}
+
+func TestStrip(t *testing.T) {
+	f := sample("aout")
+	f.Strip()
+	if len(f.Symbols) != 0 {
+		t.Error("symbols survive Strip")
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"aout", "elf32"} {
+		path := filepath.Join(dir, format+".bin")
+		if err := binfile.WriteFile(path, sample(format)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := binfile.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Entry != 0x10000 {
+			t.Errorf("%s: entry = %#x", format, got.Entry)
+		}
+		// Executable bit set.
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Mode()&0o100 == 0 {
+			t.Errorf("%s: not executable", format)
+		}
+	}
+	if _, err := binfile.ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestSymKindString(t *testing.T) {
+	if binfile.SymFunc.String() != "func" || binfile.SymDebug.String() != "debug" {
+		t.Error("kind names")
+	}
+}

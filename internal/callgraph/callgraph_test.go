@@ -1,0 +1,321 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"eel/internal/asm"
+	"eel/internal/binfile"
+	"eel/internal/callgraph"
+	"eel/internal/core"
+	"eel/internal/machine"
+	"eel/internal/progen"
+)
+
+func makeExec(t *testing.T, src string, routines ...string) *core.Executable {
+	t.Helper()
+	prog, err := asm.Assemble(src, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &binfile.File{
+		Format: "aout",
+		Entry:  0x10000,
+		Sections: []binfile.Section{
+			{Name: "text", Addr: 0x10000, Data: prog.Bytes},
+		},
+	}
+	for _, name := range routines {
+		f.Symbols = append(f.Symbols, binfile.Symbol{
+			Name: name, Addr: prog.Labels[name], Kind: binfile.SymFunc, Global: true,
+		})
+	}
+	e, err := core.NewExecutable(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReadContents(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const program = `
+main:	call a
+	nop
+	call b
+	nop
+	mov 1, %g1
+	ta 0
+a:	call b
+	nop
+	retl
+	nop
+b:	retl
+	nop
+dead:	call b
+	nop
+	retl
+	nop
+rec:	call rec
+	nop
+	retl
+	nop
+`
+
+func build(t *testing.T) (*core.Executable, *callgraph.Graph) {
+	t.Helper()
+	e := makeExec(t, program, "main", "a", "b", "dead", "rec")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, g
+}
+
+func TestEdges(t *testing.T) {
+	e, g := build(t)
+	main := g.Node(e.RoutineByName("main"))
+	if main == nil || g.Entry != main {
+		t.Fatal("entry node wrong")
+	}
+	calls := 0
+	for _, s := range main.Out {
+		if !s.Tail {
+			calls++
+		}
+	}
+	// Two calls; the static fall-through past "ta 0" into routine a
+	// also records a (never-executed) tail edge.
+	if calls != 2 {
+		t.Fatalf("main has %d call sites", calls)
+	}
+	b := g.Node(e.RoutineByName("b"))
+	// b is called from main, a, and dead.
+	if len(b.In) != 3 {
+		t.Errorf("b has %d callers", len(b.In))
+	}
+	for _, s := range main.Out {
+		if s.Indirect || s.To == nil {
+			t.Errorf("direct call recorded as indirect: %+v", s)
+		}
+		if s.Addr == 0 {
+			t.Error("call site address missing")
+		}
+	}
+}
+
+func TestReachabilityAndDeadRoutines(t *testing.T) {
+	e, g := build(t)
+	reach := g.Reachable()
+	if !reach[g.Node(e.RoutineByName("a"))] || !reach[g.Node(e.RoutineByName("b"))] {
+		t.Error("a/b should be reachable")
+	}
+	dead := g.DeadRoutines()
+	names := map[string]bool{}
+	for _, n := range dead {
+		names[n.Routine.Name] = true
+	}
+	if !names["dead"] || !names["rec"] {
+		t.Errorf("dead routines = %v", names)
+	}
+	if names["main"] || names["a"] {
+		t.Errorf("live routine reported dead: %v", names)
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	e, g := build(t)
+	if !g.Recursive(g.Node(e.RoutineByName("rec"))) {
+		t.Error("self-recursion missed")
+	}
+	if g.Recursive(g.Node(e.RoutineByName("a"))) {
+		t.Error("a reported recursive")
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+main:	call even
+	nop
+	mov 1, %g1
+	ta 0
+even:	subcc %o0, 1, %o0
+	be out
+	nop
+	call odd
+	nop
+out:	retl
+	nop
+odd:	call even
+	nop
+	retl
+	nop
+`
+	e := makeExec(t, src, "main", "even", "odd")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := g.Node(e.RoutineByName("even"))
+	odd := g.Node(e.RoutineByName("odd"))
+	if !g.Recursive(even) || !g.Recursive(odd) {
+		t.Error("mutual recursion missed")
+	}
+	if even.SCC != odd.SCC {
+		t.Error("mutually recursive routines in different SCCs")
+	}
+}
+
+func TestBottomUpOrder(t *testing.T) {
+	_, g := build(t)
+	pos := map[string]int{}
+	for i, n := range g.BottomUp() {
+		pos[n.Routine.Name] = i
+	}
+	if pos["b"] > pos["a"] || pos["a"] > pos["main"] {
+		t.Errorf("bottom-up order wrong: %v", pos)
+	}
+}
+
+func TestIndirectCallConservative(t *testing.T) {
+	src := `
+main:	set helper, %l0
+	call %l0
+	nop
+	mov 1, %g1
+	ta 0
+helper:	retl
+	nop
+`
+	e := makeExec(t, src, "main", "helper")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasIndirect {
+		t.Fatal("indirect call not flagged")
+	}
+	if len(g.DeadRoutines()) != 0 {
+		t.Error("reachability must be conservative under indirect calls")
+	}
+}
+
+func TestTailTransferEdges(t *testing.T) {
+	src := `
+main:	call f
+	nop
+	mov 1, %g1
+	ta 0
+f:	ba g
+	nop
+g:	retl
+	nop
+`
+	e := makeExec(t, src, "main", "f", "g")
+	cg, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cg.Node(e.RoutineByName("f"))
+	found := false
+	for _, s := range f.Out {
+		if s.Tail && s.To == cg.Node(e.RoutineByName("g")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tail transfer edge missing")
+	}
+	if len(cg.DeadRoutines()) != 0 {
+		t.Error("g is reachable via the tail transfer")
+	}
+}
+
+// TestFreeRegisters exercises the §3.5 footnote's promised
+// register-freeing mechanism.
+func TestFreeRegisters(t *testing.T) {
+	// This program touches %o0, %l0, %g1 (syscall) — %l5, say, is
+	// free everywhere.
+	src := `
+main:	mov 4, %o0
+	call f
+	nop
+	mov 1, %g1
+	ta 0
+f:	add %o0, 1, %l0
+	retl
+	add %l0, 0, %o0
+`
+	e := makeExec(t, src, "main", "f")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := g.FreeRegisters()
+	if !free.Has(21) { // %l5
+		t.Errorf("free = %s, want %%l5 in it", free)
+	}
+	if free.Has(8) || free.Has(16) || free.Has(1) {
+		t.Errorf("used registers offered as free: %s", free)
+	}
+	for _, r := range []machine.Reg{0, 6, 7, 14, 15, 30} {
+		if free.Has(r) {
+			t.Errorf("reserved register r%d offered", r)
+		}
+	}
+}
+
+func TestFreeRegistersConservativeOnUnresolved(t *testing.T) {
+	cfg := progen.DefaultConfig(4)
+	cfg.Personality = progen.SunPro
+	p := progen.MustGenerate(cfg)
+	e, err := core.NewExecutable(p.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReadContents(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SunPro programs contain unresolved jumps: no register can be
+	// proven free.
+	if !g.FreeRegisters().IsEmpty() {
+		t.Error("free registers claimed despite unresolved control flow")
+	}
+}
+
+func TestProgenCallGraph(t *testing.T) {
+	p := progen.MustGenerate(progen.DefaultConfig(9))
+	e, err := core.NewExecutable(p.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReadContents(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) < 10 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	edges := 0
+	for _, n := range g.Nodes {
+		edges += len(n.Out)
+	}
+	if edges == 0 {
+		t.Fatal("no call edges found")
+	}
+	// progen programs form a DAG (plus tail transfers): main must
+	// not be recursive.
+	if g.Entry == nil {
+		t.Fatal("no entry node")
+	}
+	if g.Recursive(g.Entry) {
+		t.Error("main recursive in a DAG program")
+	}
+}

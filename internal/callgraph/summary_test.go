@@ -1,0 +1,138 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"eel/internal/callgraph"
+	"eel/internal/machine"
+)
+
+func TestLocalSummaries(t *testing.T) {
+	src := `
+main:	call outer
+	nop
+	mov 1, %g1
+	ta 0
+outer:	save %sp, -96, %sp
+	call leaf
+	nop
+	ret
+	restore %o0, 0, %o0
+leaf:	add %o0, 1, %o0
+	retl
+	xor %o0, 2, %o0
+`
+	e := makeExec(t, src, "main", "outer", "leaf")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := g.Summaries()
+	leaf := sums[g.Node(e.RoutineByName("leaf"))]
+	if !leaf.Exact {
+		t.Fatal("leaf summary inexact")
+	}
+	// leaf touches %o0, %o7 (retl reads it) and PSR? no cc ops.
+	if !leaf.Reads.Has(8) || !leaf.Writes.Has(8) {
+		t.Errorf("leaf summary: reads=%s writes=%s", leaf.Reads, leaf.Writes)
+	}
+	if leaf.Reads.Has(20) || leaf.Writes.Has(20) {
+		t.Errorf("leaf claims %%l4: %s", leaf.Writes)
+	}
+	// outer includes leaf's footprint transitively, plus the window
+	// barrier (save/restore touch the whole integer file).
+	outer := sums[g.Node(e.RoutineByName("outer"))]
+	if !outer.Writes.Has(8) {
+		t.Error("outer summary missing callee effect")
+	}
+	if outer.Writes.Len() < 25 {
+		t.Errorf("outer (windowed) should touch most registers: %s", outer.Writes)
+	}
+}
+
+func TestDeadAcrossCall(t *testing.T) {
+	src := `
+main:	call leaf
+	nop
+	mov 1, %g1
+	ta 0
+leaf:	add %o0, 1, %o0
+	retl
+	nop
+`
+	e := makeExec(t, src, "main", "leaf")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := g.Summaries()
+	leaf := g.Node(e.RoutineByName("leaf"))
+	dead := g.DeadAcrossCall(sums, leaf)
+	// The calling convention says %o1-%o5 and %g1-%g7 die across any
+	// call; interprocedural analysis proves this leaf preserves them.
+	for _, r := range []machine.Reg{9, 10, 16, 1} { // %o1 %o2 %l0 %g1
+		if !dead.Has(r) {
+			t.Errorf("r%d should be provably dead across the leaf call: %s", r, dead)
+		}
+	}
+	if dead.Has(8) {
+		t.Error("o0 is used by the callee")
+	}
+	if dead.Has(15) || dead.Has(14) {
+		t.Error("reserved registers offered")
+	}
+}
+
+func TestRecursiveSummaryConverges(t *testing.T) {
+	src := `
+main:	call f
+	nop
+	mov 1, %g1
+	ta 0
+f:	subcc %o0, 1, %o0
+	be done
+	nop
+	call f
+	nop
+done:	retl
+	xor %o0, %o1, %o0
+`
+	e := makeExec(t, src, "main", "f")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := g.Summaries()
+	f := sums[g.Node(e.RoutineByName("f"))]
+	if !f.Exact {
+		t.Fatal("recursive summary inexact")
+	}
+	if !f.Reads.Has(9) { // %o1 read in the delay slot of retl
+		t.Errorf("recursive summary lost a read: %s", f.Reads)
+	}
+	if f.Writes.Has(20) {
+		t.Errorf("phantom write: %s", f.Writes)
+	}
+}
+
+func TestIndirectCallConservativeSummary(t *testing.T) {
+	src := `
+main:	set leaf, %l0
+	call %l0
+	nop
+	mov 1, %g1
+	ta 0
+leaf:	retl
+	nop
+`
+	e := makeExec(t, src, "main", "leaf")
+	g, err := callgraph.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := g.Summaries()
+	main := sums[g.Node(e.RoutineByName("main"))]
+	if main.Exact {
+		t.Error("indirect call must poison the caller's summary")
+	}
+}

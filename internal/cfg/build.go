@@ -1,0 +1,468 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"eel/internal/machine"
+)
+
+// BuildError reports a construction failure.
+type BuildError struct {
+	Addr uint32
+	Msg  string
+}
+
+func (e *BuildError) Error() string { return fmt.Sprintf("cfg: at %#x: %s", e.Addr, e.Msg) }
+
+// Options refine construction.  IndirectTargets carries the results
+// of a prior slicing pass (paper §3.3: "although at the time of
+// slicing, the CFG is incomplete ... after finding the table's
+// address, EEL builds a precise CFG for the indirect jump"): mapping
+// a register-indirect jump's address to its dispatch-table targets
+// lets the rebuild reach the case arms and wire precise edges.
+type Options struct {
+	// IndirectTargets maps jump address → in-routine targets.
+	IndirectTargets map[uint32][]uint32
+	// Tables maps jump address → its dispatch table, for
+	// bookkeeping and later table rewriting.
+	Tables map[uint32]TableInfo
+	// ForceTranslate marks resolved jumps RuntimeOnly: targets are
+	// used to discover code, but the jump still translates its
+	// address at run time (light-analysis/ablation mode).
+	ForceTranslate bool
+}
+
+// TableInfo describes a resolved dispatch table.
+type TableInfo struct {
+	Addr    uint32
+	Len     int
+	Literal bool
+	Target  uint32 // for Literal resolutions
+}
+
+// Build constructs the CFG of the routine occupying [start, end)
+// within the text segment (text begins at textAddr), entered at the
+// given entry points.  The text segment may extend beyond the
+// routine; control transfers leaving [start, end) become OutRefs and
+// exit edges.
+func Build(dec machine.Decoder, text []byte, textAddr uint32, start, end uint32, entries []uint32) (*Graph, error) {
+	return BuildWithOptions(dec, text, textAddr, start, end, entries, Options{})
+}
+
+// BuildWithOptions is Build with indirect-jump resolutions applied.
+func BuildWithOptions(dec machine.Decoder, text []byte, textAddr uint32, start, end uint32, entries []uint32, opts Options) (*Graph, error) {
+	if start < textAddr || end > textAddr+uint32(len(text)) || start > end {
+		return nil, &BuildError{start, "routine bounds outside text segment"}
+	}
+	if start%4 != 0 || end%4 != 0 {
+		return nil, &BuildError{start, "routine bounds not word aligned"}
+	}
+	b := &builder{
+		g: &Graph{
+			Start: start, End: end, Entries: append([]uint32(nil), entries...),
+			ByAddr: map[uint32]*Block{}, Complete: true, dec: dec,
+		},
+		dec:     dec,
+		text:    text,
+		base:    textAddr,
+		start:   start,
+		end:     end,
+		reached: map[uint32]bool{},
+		leader:  map[uint32]bool{},
+		dsOf:    map[uint32]bool{},
+		dataAt:  map[uint32]bool{},
+		opts:    opts,
+	}
+	b.g.Entry = b.g.NewBlock(KindEntry)
+	b.g.Exit = b.g.NewBlock(KindExit)
+	if err := b.reach(); err != nil {
+		return nil, err
+	}
+	b.formBlocks()
+	b.connect()
+	b.findUnreachableTail()
+	return b.g, nil
+}
+
+type builder struct {
+	g     *Graph
+	dec   machine.Decoder
+	text  []byte
+	base  uint32
+	start uint32
+	end   uint32
+
+	reached map[uint32]bool
+	leader  map[uint32]bool
+	dsOf    map[uint32]bool // addresses consumed as delay slots
+	dataAt  map[uint32]bool // reachable invalid words
+	opts    Options
+
+	// terminator info per block-ending CTI address
+	content []uint32 // sorted content addresses (phase 2)
+}
+
+func (b *builder) inRoutine(a uint32) bool { return a >= b.start && a < b.end }
+
+func (b *builder) instAt(a uint32) *machine.Inst {
+	off := a - b.base
+	word := uint32(b.text[off])<<24 | uint32(b.text[off+1])<<16 |
+		uint32(b.text[off+2])<<8 | uint32(b.text[off+3])
+	return b.dec.Decode(word)
+}
+
+// reach walks all paths from the entry points, marking reachable
+// instructions, leaders, delay-slot consumption, and data.
+func (b *builder) reach() error {
+	work := append([]uint32(nil), b.g.Entries...)
+	for _, e := range b.g.Entries {
+		if !b.inRoutine(e) {
+			return &BuildError{e, "entry point outside routine"}
+		}
+		if e%4 != 0 {
+			return &BuildError{e, "misaligned entry point"}
+		}
+		b.leader[e] = true
+	}
+	push := func(a uint32) {
+		if b.inRoutine(a) && !b.reached[a] {
+			work = append(work, a)
+		}
+	}
+	markLeader := func(a uint32) {
+		if b.inRoutine(a) {
+			b.leader[a] = true
+		}
+	}
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		for b.inRoutine(a) && !b.reached[a] {
+			b.reached[a] = true
+			inst := b.instAt(a)
+			if !inst.Valid() {
+				b.dataAt[a] = true
+				b.g.HasData = true
+				break
+			}
+			if !inst.Category().IsControl() {
+				a += 4
+				continue
+			}
+			// Control transfer: account for its delay slot.
+			delay := inst.DelaySlots()
+			dsAddr := a + 4
+			hasDS := delay == 1 && !inst.IsAnnulledUncond()
+			if delay == 1 {
+				if dsAddr >= b.end {
+					b.dataAt[a] = true
+					b.g.HasData = true
+					break
+				}
+				if hasDS {
+					b.reached[dsAddr] = true
+					b.dsOf[dsAddr] = true
+					ds := b.instAt(dsAddr)
+					if !ds.Valid() {
+						b.dataAt[dsAddr] = true
+						b.g.HasData = true
+					} else if ds.Category().IsControl() {
+						// A control transfer in a delay slot would
+						// need the paper's repeated normalization;
+						// real compilers do not emit it, so treat
+						// the region as data (it shows up when a
+						// data table carries a routine-like symbol).
+						b.dataAt[a] = true
+						b.dataAt[dsAddr] = true
+						b.g.HasData = true
+						b.g.Warnings = append(b.g.Warnings,
+							fmt.Sprintf("control transfer in delay slot at %#x treated as data", dsAddr))
+						break
+					}
+				}
+			}
+			fall := a + 4 + 4*uint32(delay)
+			switch inst.Category() {
+			case machine.CatBranch:
+				if t, ok := inst.StaticTarget(a); ok {
+					if b.inRoutine(t) {
+						markLeader(t)
+						push(t)
+					} else {
+						b.g.OutRefs = append(b.g.OutRefs, OutRef{From: a, Target: t})
+					}
+				}
+				markLeader(fall)
+				push(fall)
+			case machine.CatJumpDirect:
+				if t, ok := inst.StaticTarget(a); ok {
+					if b.inRoutine(t) {
+						markLeader(t)
+						push(t)
+					} else {
+						b.g.OutRefs = append(b.g.OutRefs, OutRef{From: a, Target: t})
+					}
+				}
+			case machine.CatCallDirect, machine.CatCallIndirect:
+				if t, ok := inst.StaticTarget(a); ok {
+					b.g.OutRefs = append(b.g.OutRefs, OutRef{From: a, Target: t, IsCall: true})
+				}
+				if fall < b.end {
+					markLeader(fall)
+					push(fall)
+				}
+			case machine.CatJumpIndirect:
+				// Targets from a prior slicing pass become leaders;
+				// otherwise the jump has no known successors yet.
+				for _, t := range b.opts.IndirectTargets[a] {
+					if b.inRoutine(t) {
+						markLeader(t)
+						push(t)
+					}
+				}
+			case machine.CatReturn:
+				// No successors inside the routine.
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// formBlocks groups content addresses into maximal straight-line
+// blocks.  Content excludes addresses consumed as delay slots unless
+// they are also explicit transfer targets.
+func (b *builder) formBlocks() {
+	for a := range b.reached {
+		if b.dataAt[a] {
+			continue
+		}
+		if b.dsOf[a] && !b.leader[a] {
+			continue
+		}
+		b.content = append(b.content, a)
+	}
+	sort.Slice(b.content, func(i, j int) bool { return b.content[i] < b.content[j] })
+
+	var cur *Block
+	var prev uint32
+	for _, a := range b.content {
+		startNew := cur == nil || b.leader[a] || a != prev+4
+		if !startNew {
+			last := cur.Last()
+			if last != nil && last.MI.Category().IsControl() {
+				startNew = true
+			}
+		}
+		if startNew {
+			cur = b.g.NewBlock(KindNormal)
+			b.g.ByAddr[a] = cur
+		}
+		cur.Insts = append(cur.Insts, Inst{Addr: a, MI: b.instAt(a)})
+		prev = a
+		if b.instAt(a).Category().IsControl() {
+			cur = nil // force a new block after the transfer
+		}
+	}
+}
+
+// blockAt returns the block starting at a, splitting is never needed
+// because all transfer targets were leaders during formation.
+func (b *builder) blockAt(a uint32) *Block { return b.g.ByAddr[a] }
+
+// dsBlock creates a delay-slot block holding the instruction at
+// dsAddr.
+func (b *builder) dsBlock(dsAddr uint32, uneditable bool) *Block {
+	blk := b.g.NewBlock(KindDelaySlot)
+	blk.Insts = []Inst{{Addr: dsAddr, MI: b.instAt(dsAddr)}}
+	blk.Uneditable = uneditable
+	return blk
+}
+
+// connect builds edges, hoisting delay slots per Fig 3.
+func (b *builder) connect() {
+	g := b.g
+	for _, entry := range g.Entries {
+		if blk := b.blockAt(entry); blk != nil {
+			g.NewEdge(g.Entry, blk, EdgeEntry, false)
+		}
+	}
+	// Iterate over a snapshot: connecting creates DS/surrogate blocks.
+	normal := make([]*Block, 0, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		if blk.Kind == KindNormal {
+			normal = append(normal, blk)
+		}
+	}
+	for _, blk := range normal {
+		last := blk.Last()
+		if last == nil {
+			continue
+		}
+		a := last.Addr
+		inst := last.MI
+		if !inst.Category().IsControl() {
+			// Fell off the block: leader split, data, or routine end.
+			next := a + 4
+			if b.dataAt[next] {
+				blk.HasData = true
+				g.NewEdge(blk, g.Exit, EdgeExit, true)
+				continue
+			}
+			if nb := b.blockAt(next); nb != nil {
+				g.NewEdge(blk, nb, EdgeFall, false)
+			} else {
+				// Falls out of the routine into the next one.
+				g.OutRefs = append(g.OutRefs, OutRef{From: a, Target: next})
+				g.NewEdge(blk, g.Exit, EdgeExit, true)
+			}
+			continue
+		}
+
+		delay := inst.DelaySlots()
+		dsAddr := a + 4
+		hasDS := delay == 1 && !inst.IsAnnulledUncond() && !b.dataAt[dsAddr]
+		fall := a + 4 + 4*uint32(delay)
+		target, hasTarget := inst.StaticTarget(a)
+
+		// linkVia routes from→…→to through a fresh delay-slot copy
+		// when the transfer executes its slot on that path.
+		linkVia := func(withDS bool, to *Block, kind EdgeKind, unedit bool) {
+			from := blk
+			if withDS {
+				ds := b.dsBlock(dsAddr, unedit)
+				g.NewEdge(from, ds, kind, unedit)
+				from = ds
+			}
+			g.NewEdge(from, to, kind, unedit)
+		}
+		takenDest := func() (*Block, bool) { // in-routine destination
+			if !hasTarget {
+				return nil, false
+			}
+			blkT := b.blockAt(target)
+			return blkT, blkT != nil
+		}
+
+		switch inst.Category() {
+		case machine.CatBranch:
+			// Taken path always executes the slot; the untaken path
+			// executes it only when the annul bit is clear (Fig 3).
+			if dest, ok := takenDest(); ok {
+				linkVia(hasDS, dest, EdgeTaken, false)
+			} else {
+				linkVia(hasDS, g.Exit, EdgeExit, true)
+			}
+			fallDS := hasDS && !inst.AnnulBit()
+			if dest := b.blockAt(fall); dest != nil {
+				linkVia(fallDS, dest, EdgeFall, false)
+			} else {
+				linkVia(fallDS, g.Exit, EdgeExit, true)
+			}
+		case machine.CatJumpDirect:
+			if dest, ok := takenDest(); ok {
+				linkVia(hasDS, dest, EdgeTaken, false)
+			} else {
+				linkVia(hasDS, g.Exit, EdgeExit, true)
+			}
+		case machine.CatCallDirect, machine.CatCallIndirect:
+			// The slot runs before the callee; both it and the
+			// surrogate would need interprocedural editing, so they
+			// are uneditable (paper §3.3).
+			surr := g.NewBlock(KindCallSurrogate)
+			surr.Uneditable = true
+			if hasTarget {
+				surr.CallTarget = target
+			}
+			from := blk
+			if hasDS {
+				ds := b.dsBlock(dsAddr, true)
+				g.NewEdge(from, ds, EdgeCall, true)
+				from = ds
+			}
+			g.NewEdge(from, surr, EdgeCall, true)
+			if dest := b.blockAt(fall); dest != nil {
+				g.NewEdge(surr, dest, EdgeReturn, false)
+			} else {
+				g.NewEdge(surr, g.Exit, EdgeExit, true)
+			}
+		case machine.CatReturn:
+			linkVia(hasDS, g.Exit, EdgeReturn, true)
+		case machine.CatJumpIndirect:
+			ij := &IndirectJump{Block: blk, Addr: a}
+			targets, resolved := b.opts.IndirectTargets[a]
+			var slot *Block
+			from := blk
+			if hasDS {
+				// All paths through an indirect jump execute the
+				// slot once, so one slot block fans out to every
+				// target; it stays uneditable only while the jump
+				// is unresolved.
+				slot = b.dsBlock(dsAddr, !resolved)
+				g.NewEdge(from, slot, EdgeTaken, !resolved)
+				from = slot
+			}
+			ij.Slot = slot
+			if resolved {
+				ij.Resolved = true
+				ij.RuntimeOnly = b.opts.ForceTranslate
+				if ti, ok := b.opts.Tables[a]; ok {
+					ij.TableAddr = ti.Addr
+					ij.TableLen = ti.Len
+					ij.Literal = ti.Literal
+					ij.LiteralTarget = ti.Target
+				}
+				seen := map[*Block]bool{}
+				for _, t := range targets {
+					if dest := b.blockAt(t); dest != nil && !seen[dest] {
+						seen[dest] = true
+						g.NewEdge(from, dest, EdgeTaken, ij.RuntimeOnly)
+					}
+				}
+				if len(seen) == 0 {
+					g.NewEdge(from, g.Exit, EdgeExit, true)
+				}
+			} else {
+				g.NewEdge(from, g.Exit, EdgeExit, true)
+				g.Complete = false
+			}
+			g.IndirectJumps = append(g.IndirectJumps, ij)
+		}
+	}
+}
+
+// findUnreachableTail locates instructions at the routine's end that
+// no path reaches: the paper's evidence of a hidden routine (§3.1
+// step 4).
+func (b *builder) findUnreachableTail() {
+	var maxReached uint32
+	for a := range b.reached {
+		if a > maxReached {
+			maxReached = a
+		}
+	}
+	if maxReached == 0 {
+		return
+	}
+	tail := maxReached + 4
+	if tail >= b.end {
+		return
+	}
+	// Skip padding (invalid words / nops) before declaring a tail.
+	for a := tail; a < b.end; a += 4 {
+		inst := b.instAt(a)
+		if inst.Valid() && inst.Name() != "sethi" { // skip nop padding
+			b.g.UnreachableTail = a
+			return
+		}
+		if inst.Valid() {
+			// A sethi could be real code; treat first one as tail
+			// unless it is the canonical nop (sethi 0, %g0).
+			if w := inst.Word(); w != 0x01000000 {
+				b.g.UnreachableTail = a
+				return
+			}
+		}
+	}
+}

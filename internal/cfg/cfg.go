@@ -1,0 +1,294 @@
+// Package cfg builds EEL's control-flow graphs (paper §3.3).  A CFG
+// normalizes away the target machine's internal control flow: delayed
+// branches' slot instructions are hoisted into their own
+// single-instruction blocks on the appropriate edges (an annulled
+// branch's slot only on the taken edge — Fig 3; a non-annulled
+// branch's slot duplicated on both edges), calls are followed by a
+// zero-length "call surrogate" block standing for the callee's
+// execution, and a virtual entry/exit pair absorbs multiple entry
+// points and every way out of the routine.  After normalization a
+// tool can add code before or after almost any instruction, or along
+// any edge, without knowing the machine has delay slots at all.
+//
+// Blocks and edges that would require interprocedural editing (the
+// delay slot after a call, the surrogate itself, the slot of a
+// return or unresolved indirect jump) are marked uneditable; the
+// paper reports 15–20 % of blocks and edges are, and experiment E4
+// measures the same fraction here.
+package cfg
+
+import (
+	"fmt"
+
+	"eel/internal/machine"
+)
+
+// BlockKind distinguishes the paper's block flavours (§5 footnote:
+// "EEL's 12,774 delay slot blocks, 920 CFG entry/exit blocks, and
+// 1,942 call surrogate blocks").
+type BlockKind int
+
+// Block kinds.
+const (
+	// KindNormal blocks hold straight-line instructions.
+	KindNormal BlockKind = iota
+	// KindEntry is the routine's virtual entry (zero-length).
+	KindEntry
+	// KindExit is the routine's virtual exit (zero-length).
+	KindExit
+	// KindDelaySlot holds one hoisted delay-slot instruction.
+	KindDelaySlot
+	// KindCallSurrogate is the zero-length placeholder for a
+	// callee's execution between a call and its return point.
+	KindCallSurrogate
+)
+
+var blockKindNames = [...]string{"normal", "entry", "exit", "delayslot", "callsurrogate"}
+
+// String returns the kind's short name.
+func (k BlockKind) String() string {
+	if int(k) < len(blockKindNames) {
+		return blockKindNames[k]
+	}
+	return fmt.Sprintf("blockkind(%d)", int(k))
+}
+
+// EdgeKind classifies edges.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// EdgeFall is fall-through control flow.
+	EdgeFall EdgeKind = iota
+	// EdgeTaken is a taken branch or jump.
+	EdgeTaken
+	// EdgeCall links a call block to its surrogate.
+	EdgeCall
+	// EdgeReturn links a surrogate to the call's return point, or a
+	// return's slot to the exit block.
+	EdgeReturn
+	// EdgeEntry links the virtual entry to an entry point.
+	EdgeEntry
+	// EdgeExit links interprocedural transfers to the virtual exit.
+	EdgeExit
+)
+
+var edgeKindNames = [...]string{"fall", "taken", "call", "return", "entry", "exit"}
+
+// String returns the kind's short name.
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return fmt.Sprintf("edgekind(%d)", int(k))
+}
+
+// Inst is a machine-independent instruction at a text address.
+type Inst struct {
+	Addr uint32
+	MI   *machine.Inst
+}
+
+// Block is a single-entry, single-exit instruction sequence.
+type Block struct {
+	ID   int
+	Kind BlockKind
+	// Insts is empty for entry/exit/surrogate blocks and holds
+	// exactly one instruction for delay-slot blocks.
+	Insts []Inst
+	// Succ and Pred are the out- and in-edges.
+	Succ []*Edge
+	Pred []*Edge
+	// Uneditable marks blocks a tool may not modify (paper §3.3).
+	Uneditable bool
+	// CallTarget is the callee address for surrogate blocks of
+	// direct calls (0 when indirect/unknown).
+	CallTarget uint32
+	// HasData marks a block terminated by a reachable invalid word:
+	// EEL concludes the routine contains data here (§3.1 step 4).
+	HasData bool
+}
+
+// Start returns the block's first instruction address (0 for
+// synthetic blocks).
+func (b *Block) Start() uint32 {
+	if len(b.Insts) == 0 {
+		return 0
+	}
+	return b.Insts[0].Addr
+}
+
+// Last returns the block's final instruction, or nil.
+func (b *Block) Last() *Inst {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	return &b.Insts[len(b.Insts)-1]
+}
+
+// SuccBlocks returns the successor blocks.
+func (b *Block) SuccBlocks() []*Block {
+	out := make([]*Block, len(b.Succ))
+	for i, e := range b.Succ {
+		out[i] = e.To
+	}
+	return out
+}
+
+// Edge is one control-flow edge.
+type Edge struct {
+	ID         int
+	From, To   *Block
+	Kind       EdgeKind
+	Uneditable bool
+}
+
+// IndirectJump records an unresolved register-indirect jump; the
+// slicing analysis (internal/dataflow) later resolves it to a
+// dispatch table or marks the graph incomplete.
+type IndirectJump struct {
+	Block *Block // block whose last instruction is the jump
+	Addr  uint32 // jump instruction address
+	Slot  *Block // its delay-slot block (nil if annulled/absent)
+	// Resolved is set once dispatch-table analysis succeeded.
+	Resolved bool
+	// TableAddr/TableLen describe the dispatch table when resolved.
+	TableAddr uint32
+	TableLen  int
+	// LiteralTarget is set for single-literal resolutions.
+	Literal       bool
+	LiteralTarget uint32
+	// RuntimeOnly keeps the jump's run-time translation even though
+	// targets are known (ablation / light-analysis mode): the
+	// discovered targets materialize code and edges, but the table
+	// is not rewritten and the edges are uneditable.
+	RuntimeOnly bool
+}
+
+// OutRef records a control transfer that leaves the routine; the
+// symbol-table refinement (paper §3.1 step 3) turns these into entry
+// points and hidden-routine discoveries.
+type OutRef struct {
+	From   uint32 // transfer instruction address
+	Target uint32
+	IsCall bool
+}
+
+// Graph is one routine's control-flow graph.
+type Graph struct {
+	// Start and End bound the routine in the text segment.
+	Start, End uint32
+	// Entries are the routine's entry-point addresses.
+	Entries []uint32
+
+	Blocks []*Block
+	Edges  []*Edge
+	Entry  *Block
+	Exit   *Block
+
+	// ByAddr maps an original instruction address to the normal
+	// block that starts there.
+	ByAddr map[uint32]*Block
+
+	// Complete is false when some indirect jump could not be
+	// resolved statically; editing then needs run-time translation
+	// (paper §3.3).
+	Complete bool
+
+	// IndirectJumps lists register-indirect jumps for the slicing
+	// pass.
+	IndirectJumps []*IndirectJump
+
+	// OutRefs lists interprocedural transfers out of this routine.
+	OutRefs []OutRef
+
+	// HasData reports that a reachable path hit an invalid word.
+	HasData bool
+
+	// Warnings records analysis anomalies (e.g. a control transfer
+	// in a delay slot, treated as data).
+	Warnings []string
+
+	// UnreachableTail is the address of the first never-reached
+	// instruction after the last reachable one, when a gap suggests
+	// a hidden routine follows (0 if none): §3.1 step 4.
+	UnreachableTail uint32
+
+	dec machine.Decoder
+}
+
+// Decoder returns the decoder the graph was built with.
+func (g *Graph) Decoder() machine.Decoder { return g.dec }
+
+// NewEdge links from→to and registers the edge.
+func (g *Graph) NewEdge(from, to *Block, kind EdgeKind, uneditable bool) *Edge {
+	e := &Edge{ID: len(g.Edges), From: from, To: to, Kind: kind, Uneditable: uneditable}
+	g.Edges = append(g.Edges, e)
+	from.Succ = append(from.Succ, e)
+	to.Pred = append(to.Pred, e)
+	return e
+}
+
+// NewBlock allocates and registers a block.
+func (g *Graph) NewBlock(kind BlockKind) *Block {
+	b := &Block{ID: len(g.Blocks), Kind: kind}
+	g.Blocks = append(g.Blocks, b)
+	return b
+}
+
+// RemoveEdge unlinks e from its endpoints (used when re-resolving
+// indirect jumps).
+func (g *Graph) RemoveEdge(e *Edge) {
+	e.From.Succ = removeEdge(e.From.Succ, e)
+	e.To.Pred = removeEdge(e.To.Pred, e)
+}
+
+func removeEdge(list []*Edge, e *Edge) []*Edge {
+	out := list[:0]
+	for _, x := range list {
+		if x != e {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Stats summarizes block/edge composition (experiments E4, E7).
+type Stats struct {
+	Blocks          int
+	NormalBlocks    int
+	DelaySlotBlocks int
+	EntryExitBlocks int
+	CallSurrogates  int
+	Edges           int
+	UneditableB     int
+	UneditableE     int
+}
+
+// Stats computes the graph's composition.
+func (g *Graph) Stats() Stats {
+	var s Stats
+	s.Blocks = len(g.Blocks)
+	s.Edges = len(g.Edges)
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case KindNormal:
+			s.NormalBlocks++
+		case KindDelaySlot:
+			s.DelaySlotBlocks++
+		case KindEntry, KindExit:
+			s.EntryExitBlocks++
+		case KindCallSurrogate:
+			s.CallSurrogates++
+		}
+		if b.Uneditable {
+			s.UneditableB++
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Uneditable {
+			s.UneditableE++
+		}
+	}
+	return s
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"eel/internal/binfile"
+	"eel/internal/machine"
+	"eel/internal/sparc"
+	"eel/internal/spawn"
+)
+
+// Executable is EEL's top abstraction (§3.1): code and data from an
+// executable file.  Opening one runs the symbol-table refinement of
+// §3.1 — discard misleading labels, discover hidden routines and
+// multiple entry points, recover routines in stripped executables
+// from direct calls — and exposes the refined routine list for
+// analysis and editing.
+type Executable struct {
+	// File is the underlying container image.
+	File *binfile.File
+	// Dec decodes this executable's machine instructions.
+	Dec *spawn.TableDecoder
+
+	routines []*Routine // sorted by Start
+	hidden   []*Routine // discovered but not yet claimed by the tool
+
+	// Options controlling editing (ablation hooks).
+	// FoldDelaySlots re-folds unedited hoisted slot instructions
+	// back into delay slots on output (on by default, §3.3).
+	FoldDelaySlots bool
+	// Scavenge uses liveness-driven register scavenging for
+	// snippets; off forces spilling (ablation).
+	Scavenge bool
+	// ForceRuntimeTranslation treats every indirect jump as
+	// unanalyzable (ablation for the slicing experiment).
+	ForceRuntimeTranslation bool
+	// LightAnalysis models the ad-hoc pre-EEL tool (experiment E1's
+	// "qpt" baseline): no liveness (snippets always spill), no
+	// slicing (indirect jumps always translate at run time), no
+	// delay-slot folding.
+	LightAnalysis bool
+
+	// Stats accumulates snippet-allocation outcomes.
+	Stats ScavengeStats
+
+	// newData holds tool-allocated data (profile counters etc.).
+	newData     []byte
+	newDataBase uint32
+
+	// edited output state
+	edited    *binfile.File
+	addrMap   map[uint32]uint32
+	didLayout bool
+}
+
+// NewExecutable wraps a parsed image.  Call ReadContents before using
+// routines (mirroring the paper's exec->read_contents()).
+func NewExecutable(f *binfile.File) (*Executable, error) {
+	if f.Text() == nil {
+		return nil, fmt.Errorf("core: executable has no text section")
+	}
+	e := &Executable{
+		File:           f,
+		Dec:            sparc.NewDecoder(),
+		FoldDelaySlots: true,
+		Scavenge:       true,
+	}
+	e.newDataBase = e.freeAddressAfterSections(0x00800000)
+	return e, nil
+}
+
+// OpenExecutable reads and wraps the executable at path.
+func OpenExecutable(path string) (*Executable, error) {
+	f, err := binfile.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewExecutable(f)
+}
+
+// freeAddressAfterSections picks an address beyond every section,
+// aligned up generously.
+func (e *Executable) freeAddressAfterSections(min uint32) uint32 {
+	max := min
+	for _, s := range e.File.Sections {
+		if end := s.End(); end > max {
+			max = end
+		}
+	}
+	return (max + 0xFFFF) &^ 0xFFFF
+}
+
+// StartAddress returns the program's entry point.
+func (e *Executable) StartAddress() uint32 { return e.File.Entry }
+
+// Routines returns the refined routine list, sorted by address.
+func (e *Executable) Routines() []*Routine { return e.routines }
+
+// HiddenRoutines returns routines discovered by analysis that the
+// tool has not yet claimed; TakeHidden pops one (the paper's
+// hidden_routines worklist, Fig 1).
+func (e *Executable) HiddenRoutines() []*Routine { return e.hidden }
+
+// TakeHidden removes and returns one hidden routine (nil when none
+// remain).  The routine is already in the main routine list for
+// layout purposes; taking it lets the tool instrument it.
+func (e *Executable) TakeHidden() *Routine {
+	if len(e.hidden) == 0 {
+		return nil
+	}
+	r := e.hidden[0]
+	e.hidden = e.hidden[1:]
+	return r
+}
+
+// RoutineByName finds a routine.
+func (e *Executable) RoutineByName(name string) *Routine {
+	for _, r := range e.routines {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// RoutineAt returns the routine containing addr, or nil.
+func (e *Executable) RoutineAt(addr uint32) *Routine {
+	i := sort.Search(len(e.routines), func(i int) bool { return e.routines[i].End > addr })
+	if i < len(e.routines) && e.routines[i].Start <= addr {
+		return e.routines[i]
+	}
+	return nil
+}
+
+// ReadWord reads a big-endian word from any mapped section.
+func (e *Executable) ReadWord(addr uint32) (uint32, bool) {
+	for i := range e.File.Sections {
+		s := &e.File.Sections[i]
+		if s.Contains(addr) && addr+4 <= s.End() {
+			off := addr - s.Addr
+			d := s.Data
+			return uint32(d[off])<<24 | uint32(d[off+1])<<16 |
+				uint32(d[off+2])<<8 | uint32(d[off+3]), true
+		}
+	}
+	return 0, false
+}
+
+// AllocData reserves size bytes of fresh, zero-initialized data for
+// the tool (profile counters, simulation state) and returns its
+// address.  The region becomes an extra data section of the edited
+// executable.
+func (e *Executable) AllocData(size int) uint32 {
+	size = (size + 3) &^ 3
+	addr := e.newDataBase + uint32(len(e.newData))
+	e.newData = append(e.newData, make([]byte, size)...)
+	return addr
+}
+
+// ReadContents analyzes the program and refines its symbol table
+// (paper §3.1 stages 1-3); stage 4 refinements happen as CFGs are
+// built.
+func (e *Executable) ReadContents() error {
+	text := e.File.Text()
+	var starts []routineSeed
+	if hasRoutineSymbols(e.File) {
+		starts = e.refineSymbols()
+	} else {
+		starts = e.recoverStripped()
+	}
+	if len(starts) == 0 {
+		starts = []routineSeed{{addr: text.Addr, name: fmt.Sprintf("text_%08x", text.Addr)}}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].addr < starts[j].addr })
+	// Deduplicate and build extents.
+	var last uint32 = 0xffffffff
+	for _, s := range starts {
+		if s.addr == last {
+			continue
+		}
+		last = s.addr
+		e.routines = append(e.routines, &Routine{Exec: e, Name: s.name, Start: s.addr, Entries: []uint32{s.addr}})
+	}
+	for i, r := range e.routines {
+		if i+1 < len(e.routines) {
+			r.End = e.routines[i+1].Start
+		} else {
+			r.End = text.End()
+		}
+	}
+	e.findInterproceduralEntries()
+	return nil
+}
+
+type routineSeed struct {
+	addr uint32
+	name string
+}
+
+func hasRoutineSymbols(f *binfile.File) bool {
+	text := f.Text()
+	for _, s := range f.Symbols {
+		if text.Contains(s.Addr) && s.Kind != binfile.SymDebug {
+			return true
+		}
+	}
+	return false
+}
+
+// refineSymbols implements stage 1: drop debugging and temporary
+// labels, misaligned labels, and labels that are branch targets from
+// the preceding routine (probable internal labels).
+func (e *Executable) refineSymbols() []routineSeed {
+	text := e.File.Text()
+	type cand struct {
+		sym  binfile.Symbol
+		keep bool
+	}
+	var cands []cand
+	seen := map[uint32]bool{}
+	e.File.SortSymbols()
+	for _, s := range e.File.Symbols {
+		if !text.Contains(s.Addr) || s.Kind == binfile.SymDebug || s.Kind == binfile.SymData {
+			continue
+		}
+		if s.Addr%4 != 0 {
+			continue // not on an instruction boundary
+		}
+		if seen[s.Addr] {
+			continue // duplicate label
+		}
+		seen[s.Addr] = true
+		cands = append(cands, cand{sym: s, keep: true})
+	}
+	// Discard Label-kind candidates that are branch/jump (not call)
+	// targets from the candidate region that precedes them.
+	branchTargets := e.scanBranchTargets()
+	for i := range cands {
+		c := &cands[i]
+		if c.sym.Kind == binfile.SymFunc {
+			continue // typed function symbols are trusted
+		}
+		prevStart := text.Addr
+		if i > 0 {
+			prevStart = cands[i-1].sym.Addr
+		}
+		for _, from := range branchTargets[c.sym.Addr] {
+			if from >= prevStart && from < c.sym.Addr {
+				c.keep = false
+				break
+			}
+		}
+	}
+	var out []routineSeed
+	for _, c := range cands {
+		if c.keep {
+			out = append(out, routineSeed{addr: c.sym.Addr, name: c.sym.Name})
+		}
+	}
+	return out
+}
+
+// scanBranchTargets linearly decodes the text segment and collects,
+// for each branch/direct-jump target, the addresses that branch to
+// it.  Calls are deliberately excluded (§3.1: "not call!").
+func (e *Executable) scanBranchTargets() map[uint32][]uint32 {
+	text := e.File.Text()
+	out := map[uint32][]uint32{}
+	for a := text.Addr; a+4 <= text.End(); a += 4 {
+		w, _ := e.ReadWord(a)
+		inst := e.Dec.Decode(w)
+		switch inst.Category() {
+		case machine.CatBranch, machine.CatJumpDirect:
+			if t, ok := inst.StaticTarget(a); ok {
+				out[t] = append(out[t], a)
+			}
+		}
+	}
+	return out
+}
+
+// recoverStripped implements stage 2: with no symbols, the entry
+// point and first text address seed the routine set, refined by the
+// targets of direct calls found in an extra pass.
+func (e *Executable) recoverStripped() []routineSeed {
+	text := e.File.Text()
+	seeds := map[uint32]bool{
+		e.File.Entry: true,
+		text.Addr:    true,
+	}
+	for a := text.Addr; a+4 <= text.End(); a += 4 {
+		w, _ := e.ReadWord(a)
+		inst := e.Dec.Decode(w)
+		if inst.Category() == machine.CatCallDirect {
+			if t, ok := inst.StaticTarget(a); ok && text.Contains(t) && t%4 == 0 {
+				seeds[t] = true
+			}
+		}
+	}
+	var out []routineSeed
+	for addr := range seeds {
+		if text.Contains(addr) {
+			out = append(out, routineSeed{addr: addr, name: fmt.Sprintf("fn_%08x", addr)})
+		}
+	}
+	return out
+}
+
+// findInterproceduralEntries implements stage 3: jumps out of a
+// routine and calls to non-routine addresses become entry points of
+// the routines containing them.  The scan is conservative (§3.1: it
+// "may find invalid entries, as for example, when data is
+// interpreted as an instruction, but it does not miss entry
+// points").
+func (e *Executable) findInterproceduralEntries() {
+	text := e.File.Text()
+	for a := text.Addr; a+4 <= text.End(); a += 4 {
+		w, _ := e.ReadWord(a)
+		inst := e.Dec.Decode(w)
+		var t uint32
+		var ok bool
+		switch inst.Category() {
+		case machine.CatBranch, machine.CatJumpDirect, machine.CatCallDirect:
+			t, ok = inst.StaticTarget(a)
+		}
+		if !ok || !text.Contains(t) || t%4 != 0 {
+			continue
+		}
+		src := e.RoutineAt(a)
+		dst := e.RoutineAt(t)
+		if src == nil || dst == nil || src == dst {
+			continue
+		}
+		dst.addEntry(t)
+	}
+}
+
+// addHiddenTail splits off the unreachable tail of r (stage 4) as a
+// new hidden routine.
+func (e *Executable) addHiddenTail(r *Routine, tail uint32) *Routine {
+	if tail <= r.Start || tail >= r.End {
+		return nil
+	}
+	h := &Routine{
+		Exec:    e,
+		Name:    fmt.Sprintf("hidden_%08x", tail),
+		Start:   tail,
+		End:     r.End,
+		Entries: []uint32{tail},
+		Hidden:  true,
+	}
+	r.End = tail
+	// Insert in sorted position.
+	i := sort.Search(len(e.routines), func(i int) bool { return e.routines[i].Start > h.Start })
+	e.routines = append(e.routines, nil)
+	copy(e.routines[i+1:], e.routines[i:])
+	e.routines[i] = h
+	e.hidden = append(e.hidden, h)
+	return h
+}
+
+// EditedAddr maps an original address to its location in the edited
+// executable (valid after BuildEdited/WriteEditedExecutable).
+func (e *Executable) EditedAddr(orig uint32) (uint32, bool) {
+	v, ok := e.addrMap[orig]
+	return v, ok
+}

@@ -1,0 +1,824 @@
+package core
+
+import (
+	"fmt"
+
+	"eel/internal/cfg"
+	"eel/internal/dataflow"
+	"eel/internal/machine"
+	"eel/internal/sparc"
+)
+
+// This file turns an edited CFG back into machine code (§3.3.1):
+// blocks are laid out in original order with edited control paths
+// diverted through stubs appended at the routine's end, branch and
+// call displacements are adjusted to the new layout, unedited delay
+// slots get their hoisted instructions folded back, resolved
+// indirect jumps keep their dispatch tables (rewritten to edited
+// addresses, with per-edge instrumentation redirected through
+// stubs), and unresolved indirect transfers go through a run-time
+// address-translation table, exactly the fallback the paper
+// describes for jumps the slicer cannot analyze.
+
+// targetKind addresses one of three label spaces during emission.
+type targetKind int
+
+const (
+	tBlock targetKind = iota // a block of this routine
+	tOrig                    // an original program address (global map)
+	tStub                    // a stub appended to this routine
+)
+
+type target struct {
+	kind  targetKind
+	block *cfg.Block
+	orig  uint32
+	stub  int
+}
+
+// emitItem is one fixed-size unit of output code.
+type emitItem struct {
+	sizeWords int
+	emit      func(ctx *emitCtx, at uint32) ([]uint32, error)
+}
+
+// tableRedirect retargets dispatch-table entries whose edges carry
+// instrumentation: entries holding origTarget are rewritten to the
+// stub instead of the target's edited address.
+type tableRedirect struct {
+	tableAddr  uint32
+	tableLen   int
+	origTarget uint32
+	stub       int
+}
+
+// routinePlan is a measured routine layout.
+type routinePlan struct {
+	r         *Routine
+	items     []emitItem
+	offsets   []int // word offset of each item
+	sizeWords int
+
+	blockOffset map[*cfg.Block]int
+	stubOffset  []int
+
+	// localMap: original instruction address → byte offset in the
+	// edited routine.
+	localMap map[uint32]int
+
+	redirects []tableRedirect
+	tables    []*cfg.IndirectJump
+	needTT    bool
+}
+
+// emitCtx carries global layout state into emission.
+type emitCtx struct {
+	exec    *Executable
+	plan    *routinePlan
+	base    uint32 // this routine's new base address
+	addrOf  func(orig uint32) (uint32, bool)
+	ttDelta uint32
+}
+
+func (ctx *emitCtx) resolve(t target) (uint32, error) {
+	switch t.kind {
+	case tBlock:
+		off, ok := ctx.plan.blockOffset[t.block]
+		if !ok {
+			return 0, fmt.Errorf("core: no layout position for block at %#x", t.block.Start())
+		}
+		return ctx.base + uint32(off*4), nil
+	case tStub:
+		return ctx.base + uint32(ctx.plan.stubOffset[t.stub]*4), nil
+	default:
+		a, ok := ctx.addrOf(t.orig)
+		if !ok {
+			return 0, fmt.Errorf("core: no edited address for %#x", t.orig)
+		}
+		return a, nil
+	}
+}
+
+// measurer accumulates the plan.
+type measurer struct {
+	r     *Routine
+	g     *cfg.Graph
+	lv    *dataflow.Liveness
+	plan  *routinePlan
+	stubs []func() error // deferred stub bodies, measured after main code
+	cur   int            // current word offset
+}
+
+// Liveness accessors: under LightAnalysis (the ad-hoc baseline of
+// experiment E1) no liveness is computed and every register is
+// considered live, so snippets always spill.
+func (m *measurer) liveAtEdge(e *cfg.Edge) machine.RegSet {
+	if m.lv == nil {
+		return allRegsLive()
+	}
+	return m.lv.LiveAtEdge(e)
+}
+
+func (m *measurer) liveBefore(b *cfg.Block, idx int) machine.RegSet {
+	if m.lv == nil {
+		return allRegsLive()
+	}
+	return m.lv.LiveBefore(b, idx)
+}
+
+func (m *measurer) liveAfter(b *cfg.Block, idx int) machine.RegSet {
+	if m.lv == nil {
+		return allRegsLive()
+	}
+	return m.lv.LiveAfter(b, idx)
+}
+
+// allRegsLive returns the integer universe minus the condition
+// codes (snippets that avoid cc still work without analysis).
+func allRegsLive() machine.RegSet {
+	var s machine.RegSet
+	for r := machine.Reg(0); r < 64; r++ {
+		s = s.Add(r)
+	}
+	for r := machine.FloatBase; r < machine.FloatBase+32; r++ {
+		s = s.Add(r)
+	}
+	return s.Remove(machine.RegPSR)
+}
+
+// measure lays out routine r's edited code.
+func measure(r *Routine, g *cfg.Graph) (*routinePlan, error) {
+	m := &measurer{
+		r: r,
+		g: g,
+		plan: &routinePlan{
+			r:           r,
+			blockOffset: map[*cfg.Block]int{},
+			localMap:    map[uint32]int{},
+		},
+	}
+	if !r.Exec.LightAnalysis {
+		m.lv = dataflow.ComputeLiveness(g, dataflow.DefaultExitLive())
+	}
+	// Normal blocks in original address order keep fall-throughs
+	// adjacent (the paper's "laying out its blocks and snippets to
+	// minimize unnecessary jumps").
+	var order []*cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == cfg.KindNormal {
+			order = append(order, b)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j].Start() < order[i].Start() {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for i, b := range order {
+		var next *cfg.Block
+		if i+1 < len(order) {
+			next = order[i+1]
+		}
+		if err := m.block(b, next); err != nil {
+			return nil, err
+		}
+	}
+	// Now measure the deferred stubs.
+	for _, f := range m.stubs {
+		if err := f(); err != nil {
+			return nil, err
+		}
+	}
+	m.plan.sizeWords = m.cur
+	return m.plan, nil
+}
+
+// add appends an item at the current offset.
+func (m *measurer) add(it emitItem) {
+	m.plan.items = append(m.plan.items, it)
+	m.plan.offsets = append(m.plan.offsets, m.cur)
+	m.cur += it.sizeWords
+}
+
+// record maps an original address to the current offset; normal
+// instruction occurrences overwrite delay-slot copies.
+func (m *measurer) record(addr uint32, primary bool) {
+	if _, ok := m.plan.localMap[addr]; ok && !primary {
+		return
+	}
+	m.plan.localMap[addr] = m.cur * 4
+}
+
+// origWord emits the instruction's original encoding verbatim.
+func (m *measurer) origWord(in cfg.Inst, primary bool) {
+	m.record(in.Addr, primary)
+	w := in.MI.Word()
+	m.add(emitItem{sizeWords: 1, emit: func(*emitCtx, uint32) ([]uint32, error) {
+		return []uint32{w}, nil
+	}})
+}
+
+// snippets instantiates and emits a list of snippets at a point with
+// the given live set.
+func (m *measurer) snippets(list []*Snippet, live machine.RegSet) error {
+	for _, s := range list {
+		p, err := instantiate(s, live, m.r.Exec.Scavenge, &m.r.Exec.Stats)
+		if err != nil {
+			return err
+		}
+		m.add(emitItem{sizeWords: p.size(), emit: func(ctx *emitCtx, at uint32) ([]uint32, error) {
+			p.runCallback(at)
+			return p.words, nil
+		}})
+	}
+	return nil
+}
+
+// branchTo emits a control-transfer word retargeted to t.  The word
+// must be a disp22 branch or a call.  In routines that contain data
+// (garbage decoded under a misleading symbol), unresolvable targets
+// emit a trapping word instead of failing the whole layout: such
+// paths are never executed, and if they ever are, the fault is loud.
+func (m *measurer) branchTo(word uint32, isCall bool, t target) {
+	tolerant := m.g.HasData
+	m.add(emitItem{sizeWords: 1, emit: func(ctx *emitCtx, at uint32) ([]uint32, error) {
+		dest, err := ctx.resolve(t)
+		if err != nil {
+			// A "branch" whose target lies outside the text segment
+			// is data misread as code (stripped executables make
+			// these routinely); it can never have executed.
+			if tolerant || (t.kind == tOrig && !ctx.exec.File.Text().Contains(t.orig)) {
+				return []uint32{0}, nil // UNIMP
+			}
+			return nil, err
+		}
+		disp := (int32(dest) - int32(at)) / 4
+		if isCall {
+			return []uint32{sparc.WithCallDisp(word, disp)}, nil
+		}
+		w, err := sparc.WithBranchDisp(word, disp)
+		if err != nil {
+			return nil, fmt.Errorf("core: branch span overflow: %w", err)
+		}
+		return []uint32{w}, nil
+	}})
+}
+
+// jumpTo emits a synthetic unconditional transfer (ba,a — one word,
+// no delay-slot execution) to t.
+func (m *measurer) jumpTo(t target) error {
+	w, err := sparc.EncodeBranch("ba", true, 0)
+	if err != nil {
+		return err
+	}
+	m.branchTo(w, false, t)
+	return nil
+}
+
+// jumpToOrigOrTrap emits ba,a to an original address when it has an
+// edited location, or an illegal word otherwise.  It is used where a
+// block statically falls off the routine's end: when a routine
+// follows, control continues there; when nothing is mapped (the text
+// ends, or only data follows — typical after an exit system call),
+// execution must never arrive, and the illegal word turns a
+// mis-analysis into a loud fault instead of silent corruption.
+func (m *measurer) jumpToOrigOrTrap(orig uint32) error {
+	w, err := sparc.EncodeBranch("ba", true, 0)
+	if err != nil {
+		return err
+	}
+	m.add(emitItem{sizeWords: 1, emit: func(ctx *emitCtx, at uint32) ([]uint32, error) {
+		dest, ok := ctx.addrOf(orig)
+		if !ok {
+			return []uint32{0}, nil // UNIMP: faults if ever reached
+		}
+		disp := (int32(dest) - int32(at)) / 4
+		out, err := sparc.WithBranchDisp(w, disp)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{out}, nil
+	}})
+	return nil
+}
+
+// jumpToIfNotNext emits ba,a unless dest is the next laid-out block.
+func (m *measurer) jumpToIfNotNext(dest *cfg.Block, next *cfg.Block) error {
+	if dest == next {
+		return nil
+	}
+	return m.jumpTo(target{kind: tBlock, block: dest})
+}
+
+// path is one way out of a control transfer: the edge leaving the
+// block, an optional hoisted delay-slot block, the edge leaving it,
+// and the destination.
+type path struct {
+	e1   *cfg.Edge
+	ds   *cfg.Block
+	e2   *cfg.Edge
+	dest *cfg.Block // graph Exit for interprocedural transfers
+	orig uint32     // original destination address when dest is Exit
+}
+
+// pathFor decodes the CFG shape downstream of edge e.
+func (m *measurer) pathFor(e *cfg.Edge, origDest uint32) path {
+	p := path{e1: e, dest: e.To, orig: origDest}
+	if e.To.Kind == cfg.KindDelaySlot {
+		p.ds = e.To
+		p.e2 = e.To.Succ[0]
+		p.dest = p.e2.To
+	}
+	return p
+}
+
+// edited reports whether any part of the path carries edits.
+func (m *measurer) edited(p path) bool {
+	r := m.r
+	if len(r.edgeEdits[p.e1]) > 0 {
+		return true
+	}
+	if p.e2 != nil && len(r.edgeEdits[p.e2]) > 0 {
+		return true
+	}
+	if p.ds != nil {
+		k := instKey{p.ds, 0}
+		if len(r.beforeEdits[k]) > 0 || len(r.afterEdits[k]) > 0 || r.deleted[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// emitPathBody emits a path's instrumentation and delay-slot copy
+// (everything but the final transfer).
+func (m *measurer) emitPathBody(p path) error {
+	if err := m.snippets(m.r.edgeEdits[p.e1], m.liveAtEdge(p.e1)); err != nil {
+		return err
+	}
+	if p.ds != nil {
+		if err := m.instWithEdits(p.ds, 0, false); err != nil {
+			return err
+		}
+	}
+	if p.e2 != nil {
+		if err := m.snippets(m.r.edgeEdits[p.e2], m.liveAtEdge(p.e2)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pathTarget returns where the path transfers to.
+func (m *measurer) pathTarget(p path) target {
+	if p.dest == m.g.Exit {
+		return target{kind: tOrig, orig: p.orig}
+	}
+	return target{kind: tBlock, block: p.dest}
+}
+
+// instWithEdits emits one instruction with its before/after snippets,
+// honouring deletion.
+func (m *measurer) instWithEdits(b *cfg.Block, idx int, primary bool) error {
+	k := instKey{b, idx}
+	if err := m.snippets(m.r.beforeEdits[k], m.liveBefore(b, idx)); err != nil {
+		return err
+	}
+	if m.r.deleted[k] {
+		m.record(b.Insts[idx].Addr, primary)
+	} else {
+		m.origWord(b.Insts[idx], primary)
+	}
+	return m.snippets(m.r.afterEdits[k], m.liveAfter(b, idx))
+}
+
+// stub defers a code sequence to the routine's end and returns its
+// label.
+func (m *measurer) stub(body func() error) int {
+	id := len(m.plan.stubOffset)
+	m.plan.stubOffset = append(m.plan.stubOffset, -1)
+	m.stubs = append(m.stubs, func() error {
+		m.plan.stubOffset[id] = m.cur
+		return body()
+	})
+	return id
+}
+
+// block lays out one normal block; next is the block laid out after
+// it (for fall-through suppression).
+func (m *measurer) block(b *cfg.Block, next *cfg.Block) error {
+	m.plan.blockOffset[b] = m.cur
+	last := len(b.Insts) - 1
+	isCTI := last >= 0 && b.Insts[last].MI.Category().IsControl()
+
+	bodyEnd := len(b.Insts)
+	if isCTI {
+		bodyEnd = last
+	}
+	for i := 0; i < bodyEnd; i++ {
+		if err := m.instWithEdits(b, i, true); err != nil {
+			return err
+		}
+	}
+	if !isCTI {
+		// Fall-through block: one successor edge.
+		if len(b.Succ) == 0 {
+			return nil
+		}
+		e := b.Succ[0]
+		if err := m.snippets(m.r.edgeEdits[e], m.liveAtEdge(e)); err != nil {
+			return err
+		}
+		if e.To == m.g.Exit {
+			// Fell off the routine into the next one (or data).
+			if b.HasData {
+				return nil // nothing to transfer to; data follows
+			}
+			fallAddr := b.Insts[last].Addr + 4
+			return m.jumpToOrigOrTrap(fallAddr)
+		}
+		return m.jumpToIfNotNext(e.To, next)
+	}
+	return m.terminator(b, last, next)
+}
+
+// terminator lowers the block's final control transfer.
+func (m *measurer) terminator(b *cfg.Block, last int, next *cfg.Block) error {
+	in := b.Insts[last]
+	inst := in.MI
+	a := in.Addr
+	word := inst.Word()
+	k := instKey{b, last}
+
+	// Instrumentation before the transfer itself.
+	if err := m.snippets(m.r.beforeEdits[k], m.liveBefore(b, last)); err != nil {
+		return err
+	}
+
+	// Classify outgoing paths.
+	var taken, fall path
+	hasTaken, hasFall := false, false
+	origTarget, _ := inst.StaticTarget(a)
+	fallAddr := a + 4 + 4*uint32(inst.DelaySlots())
+	for _, e := range b.Succ {
+		switch e.Kind {
+		case cfg.EdgeTaken:
+			taken = m.pathFor(e, origTarget)
+			hasTaken = true
+		case cfg.EdgeFall:
+			fall = m.pathFor(e, fallAddr)
+			hasFall = true
+		case cfg.EdgeExit:
+			// Unconditional transfer out of the routine, or the
+			// taken/fall side of a branch leaving the routine; the
+			// original address distinguishes them below.
+			p := m.pathFor(e, origTarget)
+			if inst.Category() == machine.CatBranch && hasTaken {
+				p.orig = fallAddr
+				fall, hasFall = p, true
+			} else {
+				taken, hasTaken = p, true
+			}
+		}
+	}
+
+	switch inst.Category() {
+	case machine.CatBranch:
+		return m.lowerBranch(b, in, taken, fall, hasTaken, hasFall, next)
+	case machine.CatJumpDirect:
+		if !hasTaken {
+			return fmt.Errorf("core: direct jump at %#x has no path", a)
+		}
+		// Literal jmpl transfers are always re-synthesized (their
+		// word has no displacement field to adjust).
+		clean := m.r.Exec.FoldDelaySlots && !m.edited(taken) && inst.Name() != "jmpl"
+		if clean && taken.ds != nil {
+			m.record(a, true)
+			m.branchTo(word, false, m.pathTarget(taken))
+			m.origWord(taken.ds.Insts[0], false)
+			return nil
+		}
+		m.record(a, true)
+		if err := m.emitPathBody(taken); err != nil {
+			return err
+		}
+		// Replace the original transfer (ba or literal jmpl) with a
+		// synthetic ba,a; a literal jmpl's stale address registers
+		// become dead code.
+		return m.jumpTo(m.pathTarget(taken))
+	case machine.CatCallDirect, machine.CatCallIndirect:
+		return m.lowerCall(b, in, next)
+	case machine.CatReturn:
+		m.record(a, true)
+		m.add(verbatim(word))
+		if len(b.Succ) > 0 {
+			if p := m.pathFor(b.Succ[0], 0); p.ds != nil {
+				m.origWord(p.ds.Insts[0], false)
+			}
+		}
+		return nil
+	case machine.CatJumpIndirect:
+		return m.lowerIndirectJump(b, in)
+	}
+	return fmt.Errorf("core: unexpected terminator %s at %#x", inst, a)
+}
+
+func verbatim(word uint32) emitItem {
+	return emitItem{sizeWords: 1, emit: func(*emitCtx, uint32) ([]uint32, error) {
+		return []uint32{word}, nil
+	}}
+}
+
+// lowerBranch handles conditional branches: the clean case re-emits
+// the original branch + slot with an adjusted displacement (folding
+// the hoisted slot back, §3.3); the edited case lowers to an
+// annulled branch to a taken-path stub with the fall path inline.
+func (m *measurer) lowerBranch(b *cfg.Block, in cfg.Inst, taken, fall path, hasTaken, hasFall bool, next *cfg.Block) error {
+	if !hasTaken || !hasFall {
+		return fmt.Errorf("core: branch at %#x lacks taken/fall paths", in.Addr)
+	}
+	clean := m.r.Exec.FoldDelaySlots && !m.edited(taken) && !m.edited(fall)
+	if clean {
+		m.record(in.Addr, true)
+		m.branchTo(in.MI.Word(), false, m.pathTarget(taken))
+		// Original slot word follows (it exists in the original
+		// encoding whether or not the annul bit is set).
+		var ds *cfg.Block
+		if taken.ds != nil {
+			ds = taken.ds
+		} else if fall.ds != nil {
+			ds = fall.ds
+		}
+		if ds != nil {
+			m.origWord(ds.Insts[0], false)
+		} else {
+			// ba,a-style: no slot was hoisted; keep original layout
+			// with a nop placeholder for the slot position.
+			m.add(verbatim(sparc.Nop()))
+		}
+		// Fall path continues.
+		if fall.dest == m.g.Exit {
+			return m.jumpTo(target{kind: tOrig, orig: fall.orig})
+		}
+		return m.jumpToIfNotNext(fall.dest, next)
+	}
+
+	// Edited lowering: bcond,a to a stub carrying the taken path;
+	// the annulled nop in the slot vanishes on the untaken path.
+	m.record(in.Addr, true)
+	takenStub := m.stub(func() error {
+		if err := m.emitPathBody(taken); err != nil {
+			return err
+		}
+		return m.jumpTo(m.pathTarget(taken))
+	})
+	w := in.MI.Word()
+	// Force the annul bit so the nop below only runs when taken.
+	wA, err := forceAnnul(w)
+	if err != nil {
+		return err
+	}
+	m.branchTo(wA, false, target{kind: tStub, stub: takenStub})
+	m.add(verbatim(sparc.Nop()))
+	// Fall path inline.
+	if err := m.emitPathBody(fall); err != nil {
+		return err
+	}
+	if fall.dest == m.g.Exit {
+		return m.jumpTo(target{kind: tOrig, orig: fall.orig})
+	}
+	return m.jumpToIfNotNext(fall.dest, next)
+}
+
+// forceAnnul sets a branch word's annul bit.
+func forceAnnul(word uint32) (uint32, error) {
+	f, ok := sparc.Desc().Field("aflag")
+	if !ok {
+		return 0, fmt.Errorf("core: no aflag field")
+	}
+	return f.Insert(word, 1), nil
+}
+
+// lowerCall emits call/jmpl-call, its delay slot, return-edge
+// instrumentation (which lands exactly at the callee's return point,
+// call+8), and the continuation.
+func (m *measurer) lowerCall(b *cfg.Block, in cfg.Inst, next *cfg.Block) error {
+	inst := in.MI
+	m.record(in.Addr, true)
+
+	// Locate slot, surrogate, and return edge.
+	var ds *cfg.Block
+	e := b.Succ[0]
+	if e.To.Kind == cfg.KindDelaySlot {
+		ds = e.To
+		e = ds.Succ[0]
+	}
+	surr := e.To
+	if surr.Kind != cfg.KindCallSurrogate {
+		return fmt.Errorf("core: call at %#x lacks surrogate", in.Addr)
+	}
+	retEdge := surr.Succ[0]
+
+	if inst.Category() == machine.CatCallDirect {
+		m.branchTo(inst.Word(), true, target{kind: tOrig, orig: surr.CallTarget})
+	} else {
+		// Indirect call: translate the target through the run-time
+		// table using the reserved scratch pair %g6/%g7.
+		if err := m.translateSeq(inst, true); err != nil {
+			if m.g.HasData {
+				m.add(verbatim(0)) // never-executed garbage
+				return nil
+			}
+			return err
+		}
+	}
+	if ds != nil {
+		m.origWord(ds.Insts[0], false)
+	} else {
+		m.add(verbatim(sparc.Nop()))
+	}
+	// Return point: instrumentation on the surrogate's return edge.
+	if err := m.snippets(m.r.edgeEdits[retEdge], m.liveAtEdge(retEdge)); err != nil {
+		return err
+	}
+	if retEdge.To == m.g.Exit {
+		// Call in tail position: if the callee returns, it returns
+		// past the routine's end; transfer to the original
+		// fall-through address.
+		return m.jumpToOrigOrTrap(in.Addr + 8)
+	}
+	return m.jumpToIfNotNext(retEdge.To, next)
+}
+
+// translateSeq emits the run-time address translation for an
+// indirect transfer: %g7 := original target; %g7 := TT[%g7 + delta];
+// jmpl %g7 (link register preserved from the original instruction).
+func (m *measurer) translateSeq(inst *machine.Inst, isCall bool) error {
+	m.plan.needTT = true
+	rs1F, _ := inst.Field("rs1")
+	iflag, _ := inst.Field("iflag")
+	rdF, _ := inst.Field("rd")
+	rs1 := machine.Reg(rs1F)
+	if rs1 == 6 || rs1 == 7 {
+		return fmt.Errorf("core: indirect transfer uses reserved scratch register %s", sparc.RegName(rs1))
+	}
+
+	var computeTarget uint32
+	var err error
+	if iflag == 1 {
+		simmF, _ := inst.Field("simm13")
+		simm := int32(signExtend13(simmF))
+		computeTarget, err = sparc.EncodeOp3Imm("add", 7, rs1, simm)
+	} else {
+		rs2F, _ := inst.Field("rs2")
+		if rs2F == 6 || rs2F == 7 {
+			return fmt.Errorf("core: indirect transfer uses reserved scratch register")
+		}
+		computeTarget, err = sparc.EncodeOp3("add", 7, rs1, machine.Reg(rs2F))
+	}
+	if err != nil {
+		return err
+	}
+	m.add(verbatim(computeTarget))
+
+	// sethi %hi(delta), %g6 ; or %g6, %lo(delta), %g6 — delta known
+	// only at emission.
+	m.add(emitItem{sizeWords: 2, emit: func(ctx *emitCtx, at uint32) ([]uint32, error) {
+		hi, err := sparc.EncodeSethi(6, ctx.ttDelta)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := sparc.EncodeOp3Imm("or", 6, 6, int32(sparc.Lo(ctx.ttDelta)))
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{hi, lo}, nil
+	}})
+
+	ld, err := sparc.EncodeOp3("ld", 7, 7, 6)
+	if err != nil {
+		return err
+	}
+	m.add(verbatim(ld))
+
+	jmpl, err := sparc.EncodeOp3Imm("jmpl", machine.Reg(rdF), 7, 0)
+	if err != nil {
+		return err
+	}
+	m.add(verbatim(jmpl))
+	return nil
+}
+
+func signExtend13(v uint32) uint32 { return uint32(int32(v<<19) >> 19) }
+
+// lowerIndirectJump handles register-indirect jumps: resolved ones
+// keep the original jump with the dispatch table rewritten (per-edge
+// instrumentation diverts table entries through stubs); unresolved
+// ones translate at run time.
+func (m *measurer) lowerIndirectJump(b *cfg.Block, in cfg.Inst) error {
+	inst := in.MI
+	var ij *cfg.IndirectJump
+	for _, cand := range m.g.IndirectJumps {
+		if cand.Addr == in.Addr {
+			ij = cand
+			break
+		}
+	}
+	if ij == nil {
+		return fmt.Errorf("core: indirect jump at %#x unregistered", in.Addr)
+	}
+
+	// Locate the slot block and outgoing edges.
+	var ds *cfg.Block
+	fanout := b.Succ
+	var e1 *cfg.Edge
+	if len(b.Succ) == 1 && b.Succ[0].To.Kind == cfg.KindDelaySlot {
+		e1 = b.Succ[0]
+		ds = e1.To
+		fanout = ds.Succ
+	}
+
+	if !ij.Resolved || ij.RuntimeOnly {
+		// Run-time translation: the translation sequence reads the
+		// jump's operands *before* the transfer, and the original
+		// slot instruction stays in the emitted jmpl's delay slot —
+		// exactly the original ordering, so even a slot that writes
+		// the jump's address register behaves identically.
+		m.record(in.Addr, true)
+		if err := m.translateSeq(inst, false); err != nil {
+			if m.g.HasData {
+				// Garbage decoded under a misleading symbol (e.g. a
+				// jump "through" the reserved scratch registers):
+				// emit a trapping word; the path never executes.
+				m.add(verbatim(0))
+				return nil
+			}
+			return err
+		}
+		if ds != nil {
+			m.origWord(ds.Insts[0], false)
+		} else {
+			m.add(verbatim(sparc.Nop()))
+		}
+		return nil
+	}
+
+	// Resolved: pre-slot edge edits and slot edits force hoisting
+	// the slot above the jump (safe unless it feeds the jump).
+	k := instKey{ds, 0}
+	hoist := e1 != nil && (len(m.r.edgeEdits[e1]) > 0 ||
+		(ds != nil && (len(m.r.beforeEdits[k]) > 0 || len(m.r.afterEdits[k]) > 0 || m.r.deleted[k])))
+	m.record(in.Addr, true)
+	if hoist {
+		if !ds.Insts[0].MI.Writes().Intersect(inst.Reads()).IsEmpty() {
+			return fmt.Errorf("core: cannot hoist delay slot feeding the jump at %#x", in.Addr)
+		}
+		if err := m.snippets(m.r.edgeEdits[e1], m.liveAtEdge(e1)); err != nil {
+			return err
+		}
+		if err := m.instWithEdits(ds, 0, false); err != nil {
+			return err
+		}
+	}
+	if ij.Literal {
+		// Literal-target jump: emit as a direct transfer.
+		if !hoist && ds != nil {
+			if err := m.instWithEdits(ds, 0, false); err != nil {
+				return err
+			}
+		}
+		return m.jumpTo(target{kind: tOrig, orig: ij.LiteralTarget})
+	}
+	m.add(verbatim(inst.Word()))
+	if hoist || ds == nil {
+		m.add(verbatim(sparc.Nop()))
+	} else {
+		m.origWord(ds.Insts[0], false)
+	}
+
+	// Table bookkeeping: every fan-out edge with edits gets a stub
+	// and a redirect; the executable rewrites the table.
+	m.plan.tables = append(m.plan.tables, ij)
+	for _, e := range fanout {
+		if e.To == m.g.Exit || len(m.r.edgeEdits[e]) == 0 {
+			continue
+		}
+		e := e
+		destStart := e.To.Start()
+		stub := m.stub(func() error {
+			if err := m.snippets(m.r.edgeEdits[e], m.liveAtEdge(e)); err != nil {
+				return err
+			}
+			return m.jumpTo(target{kind: tBlock, block: e.To})
+		})
+		m.plan.redirects = append(m.plan.redirects, tableRedirect{
+			tableAddr:  ij.TableAddr,
+			tableLen:   ij.TableLen,
+			origTarget: destStart,
+			stub:       stub,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"eel/internal/binfile"
+)
+
+// BuildEdited assembles the edited executable (§3.1/§3.3.1):
+//
+//   - every routine's measured plan is emitted at its new address
+//     (routines without explicit edits are re-laid-out unchanged, so
+//     all cross-routine references stay consistent);
+//   - dispatch tables are rewritten to point at edited locations
+//     (per-edge instrumentation goes through stubs);
+//   - a translation table mapping every original text address to its
+//     edited address is emitted when any unresolved indirect
+//     transfer needs run-time translation;
+//   - the original text segment is retained, non-executable, at its
+//     original address, so data tables embedded in text keep
+//     working;
+//   - the symbol table is regenerated at edited addresses so
+//     standard tools still work on the edited program.
+func (e *Executable) BuildEdited() (*binfile.File, error) {
+	if e.edited != nil {
+		return e.edited, nil
+	}
+	// Ensure every routine has a plan (unedited ones get an
+	// identity re-layout).  Building a plan can discover hidden
+	// routines (unreachable tails, §3.1 stage 4) that join the
+	// routine list mid-flight, so iterate to a fixpoint.
+	for {
+		missing := false
+		for _, r := range e.routines {
+			if r.plan == nil {
+				missing = true
+				if err := r.ProduceEditedRoutine(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !missing {
+			break
+		}
+	}
+	text := e.File.Text()
+
+	// Place the new text beyond every existing section and the
+	// tool-allocated data region.
+	newTextBase := e.newDataBase + uint32(len(e.newData))
+	newTextBase = (newTextBase + 0xFFFF) &^ 0xFFFF
+
+	// Assign routine bases and build the global address map.
+	e.addrMap = map[uint32]uint32{}
+	bases := map[*Routine]uint32{}
+	cursor := newTextBase
+	needTT := false
+	for _, r := range e.routines {
+		bases[r] = cursor
+		for orig, off := range r.plan.localMap {
+			e.addrMap[orig] = cursor + uint32(off)
+		}
+		cursor += uint32(r.plan.sizeWords * 4)
+		cursor = (cursor + 7) &^ 7
+		if r.plan.needTT {
+			needTT = true
+		}
+	}
+	newTextEnd := cursor
+
+	ttBase := (newTextEnd + 0xFFF) &^ 0xFFF
+	var ttDelta uint32
+	if needTT {
+		ttDelta = ttBase - text.Addr
+	}
+
+	addrOf := func(orig uint32) (uint32, bool) {
+		v, ok := e.addrMap[orig]
+		return v, ok
+	}
+
+	// Emit every routine.
+	newText := make([]byte, newTextEnd-newTextBase)
+	stubAddrs := map[*Routine][]uint32{}
+	for _, r := range e.routines {
+		ctx := &emitCtx{exec: e, plan: r.plan, base: bases[r], addrOf: addrOf, ttDelta: ttDelta}
+		for i, item := range r.plan.items {
+			at := bases[r] + uint32(r.plan.offsets[i]*4)
+			words, err := item.emit(ctx, at)
+			if err != nil {
+				return nil, fmt.Errorf("core: emitting %s: %w", r.Name, err)
+			}
+			if len(words) != item.sizeWords {
+				return nil, fmt.Errorf("core: emitting %s: item size drifted (%d != %d)", r.Name, len(words), item.sizeWords)
+			}
+			off := at - newTextBase
+			for j, w := range words {
+				binary.BigEndian.PutUint32(newText[off+uint32(j*4):], w)
+			}
+		}
+		var stubs []uint32
+		for _, so := range r.plan.stubOffset {
+			stubs = append(stubs, bases[r]+uint32(so*4))
+		}
+		stubAddrs[r] = stubs
+	}
+
+	// Copy original sections; rewrite dispatch tables in the copies.
+	oldText := append([]byte(nil), text.Data...)
+	var dataCopy []byte
+	var dataSec *binfile.Section
+	if d := e.File.Data(); d != nil {
+		dataSec = d
+		dataCopy = append([]byte(nil), d.Data...)
+	}
+	writeWord := func(addr, val uint32) error {
+		if text.Contains(addr) {
+			binary.BigEndian.PutUint32(oldText[addr-text.Addr:], val)
+			return nil
+		}
+		if dataSec != nil && dataSec.Contains(addr) {
+			binary.BigEndian.PutUint32(dataCopy[addr-dataSec.Addr:], val)
+			return nil
+		}
+		return fmt.Errorf("core: dispatch table at %#x outside known sections", addr)
+	}
+	for _, r := range e.routines {
+		// Per-edge redirects first, so plain rewriting does not
+		// clobber them.
+		redirected := map[uint32]map[uint32]uint32{} // table → origTarget → stubAddr
+		for _, rd := range r.plan.redirects {
+			mm := redirected[rd.tableAddr]
+			if mm == nil {
+				mm = map[uint32]uint32{}
+				redirected[rd.tableAddr] = mm
+			}
+			mm[rd.origTarget] = stubAddrs[r][rd.stub]
+		}
+		for _, ij := range r.plan.tables {
+			if ij.Literal || ij.TableLen == 0 {
+				continue
+			}
+			for i := 0; i < ij.TableLen; i++ {
+				entryAddr := ij.TableAddr + uint32(i*4)
+				orig, ok := e.ReadWord(entryAddr)
+				if !ok {
+					return nil, fmt.Errorf("core: cannot read dispatch table entry at %#x", entryAddr)
+				}
+				var repl uint32
+				if s, ok := redirected[ij.TableAddr][orig]; ok {
+					repl = s
+				} else if v, ok := e.addrMap[orig]; ok {
+					repl = v
+				} else {
+					return nil, fmt.Errorf("core: dispatch entry %#x has no edited address", orig)
+				}
+				if err := writeWord(entryAddr, repl); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	out := &binfile.File{Format: e.File.Format}
+	entry, ok := e.addrMap[e.File.Entry]
+	if !ok {
+		return nil, fmt.Errorf("core: entry point %#x has no edited address", e.File.Entry)
+	}
+	out.Entry = entry
+	out.Sections = append(out.Sections, binfile.Section{Name: "text", Addr: newTextBase, Data: newText})
+	// The original text stays resident as data (embedded tables,
+	// strings); naming it "oldtext" keeps it non-executable.
+	out.Sections = append(out.Sections, binfile.Section{Name: "oldtext", Addr: text.Addr, Data: oldText})
+	if dataSec != nil {
+		out.Sections = append(out.Sections, binfile.Section{Name: "data", Addr: dataSec.Addr, Data: dataCopy})
+	}
+	if len(e.newData) > 0 {
+		out.Sections = append(out.Sections, binfile.Section{Name: "eeldata", Addr: e.newDataBase, Data: append([]byte(nil), e.newData...)})
+	}
+	if needTT {
+		tt := make([]byte, len(text.Data))
+		for a := text.Addr; a+4 <= text.End(); a += 4 {
+			if v, ok := e.addrMap[a]; ok {
+				binary.BigEndian.PutUint32(tt[a-text.Addr:], v)
+			}
+		}
+		out.Sections = append(out.Sections, binfile.Section{Name: "ttable", Addr: ttBase, Data: tt})
+	}
+
+	// Regenerate the symbol table at edited addresses (§3.1: "EEL
+	// maintains symbol table information for the edited program").
+	for _, r := range e.routines {
+		if addr, ok := e.addrMap[r.Start]; ok {
+			out.Symbols = append(out.Symbols, binfile.Symbol{
+				Name: r.Name, Addr: addr,
+				Size: uint32(r.plan.sizeWords * 4),
+				Kind: binfile.SymFunc, Global: !r.Hidden,
+			})
+		}
+	}
+	for _, s := range e.File.Symbols {
+		if s.Kind == binfile.SymData {
+			out.Symbols = append(out.Symbols, s)
+		}
+	}
+	out.SortSymbols()
+
+	e.edited = out
+	e.didLayout = true
+	return out, nil
+}
+
+// WriteEditedExecutable builds the edited program and writes it to
+// path (the paper's write_edited_executable).
+func (e *Executable) WriteEditedExecutable(path string) error {
+	f, err := e.BuildEdited()
+	if err != nil {
+		return err
+	}
+	return binfile.WriteFile(path, f)
+}
+
+// EditedSize returns the edited text size in bytes (0 before layout).
+func (e *Executable) EditedSize() int {
+	if e.edited == nil {
+		return 0
+	}
+	return len(e.edited.Text().Data)
+}

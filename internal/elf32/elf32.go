@@ -1,0 +1,384 @@
+// Package elf32 implements big-endian ELF32 for SPARC, reader and
+// writer, from scratch.  Together with internal/aout it demonstrates
+// the paper's claim that EEL's executable abstraction hides file
+// format differences (§3.1, §4): the same tools run unchanged over
+// either container.  Images written here are valid enough for Go's
+// debug/elf to parse, which the tests use as an external check.
+package elf32
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"eel/internal/binfile"
+)
+
+// ELF constants used by this implementation.
+const (
+	elfClass32   = 1
+	elfData2MSB  = 2
+	etExec       = 2
+	emSparc      = 2
+	shtProgbits  = 1
+	shtSymtab    = 2
+	shtStrtab    = 3
+	shfAlloc     = 0x2
+	shfExecinstr = 0x4
+	shfWrite     = 0x1
+	sttNotype    = 0
+	sttObject    = 1
+	sttFunc      = 2
+	stbLocal     = 0
+	stbGlobal    = 1
+	ptLoad       = 1
+)
+
+// FormatName is the name this format registers under.
+const FormatName = "elf32"
+
+type format struct{}
+
+func init() { binfile.RegisterFormat(format{}) }
+
+func (format) Name() string { return FormatName }
+
+func (format) Detect(data []byte) bool {
+	return len(data) >= 6 && data[0] == 0x7f && data[1] == 'E' && data[2] == 'L' &&
+		data[3] == 'F' && data[4] == elfClass32 && data[5] == elfData2MSB
+}
+
+type strtab struct {
+	data []byte
+	idx  map[string]uint32
+}
+
+func newStrtab() *strtab {
+	return &strtab{data: []byte{0}, idx: map[string]uint32{"": 0}}
+}
+
+func (s *strtab) add(name string) uint32 {
+	if off, ok := s.idx[name]; ok {
+		return off
+	}
+	off := uint32(len(s.data))
+	s.data = append(s.data, name...)
+	s.data = append(s.data, 0)
+	s.idx[name] = off
+	return off
+}
+
+func (s *strtab) get(off uint32) string {
+	if off >= uint32(len(s.data)) {
+		return ""
+	}
+	end := off
+	for end < uint32(len(s.data)) && s.data[end] != 0 {
+		end++
+	}
+	return string(s.data[off:end])
+}
+
+type shdr struct {
+	name      uint32
+	typ       uint32
+	flags     uint32
+	addr      uint32
+	off       uint32
+	size      uint32
+	link      uint32
+	info      uint32
+	addralign uint32
+	entsize   uint32
+}
+
+func (format) Write(f *binfile.File) ([]byte, error) {
+	shstr := newStrtab()
+	str := newStrtab()
+
+	text := f.Text()
+	data := f.Data()
+	if text == nil {
+		return nil, fmt.Errorf("elf32: image lacks a text section")
+	}
+
+	// Symbols: null, locals, then globals (ELF ordering rule).
+	type sym struct {
+		name        uint32
+		value, size uint32
+		info, other byte
+		shndx       uint16
+		global      bool
+	}
+	shndxFor := func(addr uint32) uint16 {
+		if text.Contains(addr) {
+			return 1
+		}
+		if data != nil && data.Contains(addr) {
+			return 2
+		}
+		return 0 // SHN_UNDEF-ish; keep absolute value anyway
+	}
+	var locals, globals []sym
+	for _, s := range f.Symbols {
+		var typ byte
+		switch s.Kind {
+		case binfile.SymFunc:
+			typ = sttFunc
+		case binfile.SymData:
+			typ = sttObject
+		default:
+			typ = sttNotype
+		}
+		bind := byte(stbLocal)
+		if s.Global {
+			bind = stbGlobal
+		}
+		e := sym{
+			name:   str.add(s.Name),
+			value:  s.Addr,
+			size:   s.Size,
+			info:   bind<<4 | typ,
+			shndx:  shndxFor(s.Addr),
+			global: s.Global,
+		}
+		if s.Global {
+			globals = append(globals, e)
+		} else {
+			locals = append(locals, e)
+		}
+	}
+	syms := make([]sym, 0, 1+len(locals)+len(globals))
+	syms = append(syms, sym{}) // null symbol
+	syms = append(syms, locals...)
+	syms = append(syms, globals...)
+	firstGlobal := uint32(1 + len(locals))
+
+	var symData []byte
+	for _, e := range syms {
+		symData = binary.BigEndian.AppendUint32(symData, e.name)
+		symData = binary.BigEndian.AppendUint32(symData, e.value)
+		symData = binary.BigEndian.AppendUint32(symData, e.size)
+		symData = append(symData, e.info, e.other)
+		symData = binary.BigEndian.AppendUint16(symData, e.shndx)
+	}
+
+	// Layout: ehdr(52) + phdrs(2*32) + section payloads + shdr table.
+	const ehdrSize = 52
+	const phentSize = 32
+	nph := 1
+	if data != nil {
+		nph = 2
+	}
+	off := uint32(ehdrSize + nph*phentSize)
+	align4 := func(v uint32) uint32 { return (v + 3) &^ 3 }
+
+	type placed struct {
+		hdr  shdr
+		body []byte
+	}
+	var sections []placed
+	add := func(name string, typ, flags uint32, addr uint32, body []byte, link, info, entsize uint32) int {
+		off = align4(off)
+		sections = append(sections, placed{
+			hdr: shdr{
+				name: shstr.add(name), typ: typ, flags: flags, addr: addr,
+				off: off, size: uint32(len(body)), link: link, info: info,
+				addralign: 4, entsize: entsize,
+			},
+			body: body,
+		})
+		off += uint32(len(body))
+		return len(sections)
+	}
+
+	sections = append(sections, placed{}) // null section header
+	add(".text", shtProgbits, shfAlloc|shfExecinstr, text.Addr, text.Data, 0, 0, 0)
+	if data != nil {
+		add(".data", shtProgbits, shfAlloc|shfWrite, data.Addr, data.Data, 0, 0, 0)
+	}
+	symShIdx := add(".symtab", shtSymtab, 0, 0, symData, uint32(len(sections)+1), firstGlobal, 16)
+	add(".strtab", shtStrtab, 0, 0, str.data, 0, 0, 0)
+	shstr.add(".shstrtab")
+	add(".shstrtab", shtStrtab, 0, 0, shstr.data, 0, 0, 0)
+	_ = symShIdx
+
+	shoff := align4(off)
+
+	var out []byte
+	u16 := func(v uint16) { out = binary.BigEndian.AppendUint16(out, v) }
+	u32 := func(v uint32) { out = binary.BigEndian.AppendUint32(out, v) }
+
+	// ELF header.
+	out = append(out, 0x7f, 'E', 'L', 'F', elfClass32, elfData2MSB, 1, 0)
+	out = append(out, make([]byte, 8)...) // padding
+	u16(etExec)
+	u16(emSparc)
+	u32(1) // version
+	u32(f.Entry)
+	u32(ehdrSize) // phoff
+	u32(shoff)
+	u32(0) // flags
+	u16(ehdrSize)
+	u16(phentSize)
+	u16(uint16(nph))
+	u16(40) // shentsize
+	u16(uint16(len(sections)))
+	u16(uint16(len(sections) - 1)) // shstrndx (last)
+
+	// Program headers (text, then data).
+	textOff := sections[1].hdr.off
+	writePhdr := func(offset, vaddr, size, flags uint32) {
+		u32(ptLoad)
+		u32(offset)
+		u32(vaddr)
+		u32(vaddr)
+		u32(size)
+		u32(size)
+		u32(flags)
+		u32(4)
+	}
+	writePhdr(textOff, text.Addr, uint32(len(text.Data)), 0x5) // R+X
+	if data != nil {
+		writePhdr(sections[2].hdr.off, data.Addr, uint32(len(data.Data)), 0x6) // R+W
+	}
+
+	// Section payloads.
+	for _, p := range sections[1:] {
+		for uint32(len(out)) < p.hdr.off {
+			out = append(out, 0)
+		}
+		out = append(out, p.body...)
+	}
+	for uint32(len(out)) < shoff {
+		out = append(out, 0)
+	}
+	// Section header table.
+	for _, p := range sections {
+		u32(p.hdr.name)
+		u32(p.hdr.typ)
+		u32(p.hdr.flags)
+		u32(p.hdr.addr)
+		u32(p.hdr.off)
+		u32(p.hdr.size)
+		u32(p.hdr.link)
+		u32(p.hdr.info)
+		u32(p.hdr.addralign)
+		u32(p.hdr.entsize)
+	}
+	return out, nil
+}
+
+func (format) Read(raw []byte) (*binfile.File, error) {
+	if len(raw) < 52 {
+		return nil, fmt.Errorf("elf32: truncated header")
+	}
+	if raw[0] != 0x7f || raw[1] != 'E' || raw[2] != 'L' || raw[3] != 'F' {
+		return nil, fmt.Errorf("elf32: bad magic")
+	}
+	if raw[4] != elfClass32 || raw[5] != elfData2MSB {
+		return nil, fmt.Errorf("elf32: not a big-endian 32-bit image")
+	}
+	be16 := func(off uint32) uint16 { return binary.BigEndian.Uint16(raw[off:]) }
+	be32 := func(off uint32) uint32 { return binary.BigEndian.Uint32(raw[off:]) }
+	if be16(18) != emSparc {
+		return nil, fmt.Errorf("elf32: machine %d is not SPARC", be16(18))
+	}
+	f := &binfile.File{Format: FormatName, Entry: be32(24)}
+	shoff := be32(32)
+	shentsize := uint32(be16(46))
+	shnum := uint32(be16(48))
+	shstrndx := uint32(be16(50))
+	if shentsize < 40 || shoff+shnum*shentsize > uint32(len(raw)) || shstrndx >= shnum {
+		return nil, fmt.Errorf("elf32: corrupt section header table")
+	}
+	readShdr := func(i uint32) shdr {
+		b := shoff + i*shentsize
+		return shdr{
+			name: be32(b), typ: be32(b + 4), flags: be32(b + 8), addr: be32(b + 12),
+			off: be32(b + 16), size: be32(b + 20), link: be32(b + 24),
+			info: be32(b + 28), addralign: be32(b + 32), entsize: be32(b + 36),
+		}
+	}
+	sectionBody := func(h shdr) ([]byte, error) {
+		if h.off+h.size > uint32(len(raw)) {
+			return nil, fmt.Errorf("elf32: section exceeds image")
+		}
+		return raw[h.off : h.off+h.size], nil
+	}
+	shstrHdr := readShdr(shstrndx)
+	shstrBody, err := sectionBody(shstrHdr)
+	if err != nil {
+		return nil, err
+	}
+	shstr := &strtab{data: shstrBody}
+
+	var symHdr, strHdr *shdr
+	for i := uint32(1); i < shnum; i++ {
+		h := readShdr(i)
+		name := shstr.get(h.name)
+		switch {
+		case name == ".text" || (h.typ == shtProgbits && h.flags&shfExecinstr != 0):
+			body, err := sectionBody(h)
+			if err != nil {
+				return nil, err
+			}
+			f.Sections = append(f.Sections, binfile.Section{
+				Name: "text", Addr: h.addr, Data: append([]byte(nil), body...),
+			})
+		case name == ".data":
+			body, err := sectionBody(h)
+			if err != nil {
+				return nil, err
+			}
+			f.Sections = append(f.Sections, binfile.Section{
+				Name: "data", Addr: h.addr, Data: append([]byte(nil), body...),
+			})
+		case h.typ == shtSymtab:
+			hc := h
+			symHdr = &hc
+		case h.typ == shtStrtab && i != shstrndx:
+			hc := h
+			strHdr = &hc
+		}
+	}
+	if symHdr != nil {
+		symBody, err := sectionBody(*symHdr)
+		if err != nil {
+			return nil, err
+		}
+		var names *strtab
+		if strHdr != nil {
+			strBody, err := sectionBody(*strHdr)
+			if err != nil {
+				return nil, err
+			}
+			names = &strtab{data: strBody}
+		} else {
+			names = newStrtab()
+		}
+		for off := uint32(16); off+16 <= uint32(len(symBody)); off += 16 {
+			nameOff := binary.BigEndian.Uint32(symBody[off:])
+			value := binary.BigEndian.Uint32(symBody[off+4:])
+			size := binary.BigEndian.Uint32(symBody[off+8:])
+			info := symBody[off+12]
+			name := names.get(nameOff)
+			kind := binfile.SymLabel
+			switch info & 0xf {
+			case sttFunc:
+				kind = binfile.SymFunc
+			case sttObject:
+				kind = binfile.SymData
+			default:
+				if strings.HasPrefix(name, ".L") || strings.HasPrefix(name, "L$") {
+					kind = binfile.SymDebug
+				}
+			}
+			f.Symbols = append(f.Symbols, binfile.Symbol{
+				Name: name, Addr: value, Size: size, Kind: kind,
+				Global: info>>4 == stbGlobal,
+			})
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,140 @@
+package elf32
+
+import (
+	"bytes"
+	"debug/elf"
+	"testing"
+
+	"eel/internal/binfile"
+)
+
+func sample() *binfile.File {
+	return &binfile.File{
+		Format: FormatName,
+		Entry:  0x10000,
+		Sections: []binfile.Section{
+			{Name: "text", Addr: 0x10000, Data: []byte{0x01, 0x00, 0x00, 0x00, 0x81, 0xc3, 0xe0, 0x08}},
+			{Name: "data", Addr: 0x20000, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		},
+		Symbols: []binfile.Symbol{
+			{Name: "main", Addr: 0x10000, Size: 8, Kind: binfile.SymFunc, Global: true},
+			{Name: "table", Addr: 0x20000, Size: 4, Kind: binfile.SymData},
+			{Name: ".L42", Addr: 0x10004, Kind: binfile.SymDebug},
+			{Name: "local_helper", Addr: 0x10004, Kind: binfile.SymLabel},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sample()
+	img, err := (format{}).Write(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := binfile.Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format != FormatName {
+		t.Errorf("format = %q", got.Format)
+	}
+	if got.Entry != f.Entry {
+		t.Errorf("entry = %#x, want %#x", got.Entry, f.Entry)
+	}
+	text := got.Text()
+	if text == nil || !bytes.Equal(text.Data, f.Text().Data) || text.Addr != 0x10000 {
+		t.Fatalf("text mismatch: %+v", text)
+	}
+	data := got.Data()
+	if data == nil || !bytes.Equal(data.Data, f.Data().Data) {
+		t.Fatalf("data mismatch")
+	}
+	if len(got.Symbols) != len(f.Symbols) {
+		t.Fatalf("symbols = %d, want %d", len(got.Symbols), len(f.Symbols))
+	}
+	byName := map[string]binfile.Symbol{}
+	for _, s := range got.Symbols {
+		byName[s.Name] = s
+	}
+	main := byName["main"]
+	if main.Kind != binfile.SymFunc || !main.Global || main.Addr != 0x10000 || main.Size != 8 {
+		t.Errorf("main = %+v", main)
+	}
+	if byName["table"].Kind != binfile.SymData {
+		t.Errorf("table kind = %v", byName["table"].Kind)
+	}
+	if byName[".L42"].Kind != binfile.SymDebug {
+		t.Errorf(".L42 kind = %v", byName[".L42"].Kind)
+	}
+	if byName["local_helper"].Kind != binfile.SymLabel {
+		t.Errorf("local_helper kind = %v", byName["local_helper"].Kind)
+	}
+}
+
+// TestDebugElfAccepts checks our writer against Go's own ELF parser.
+func TestDebugElfAccepts(t *testing.T) {
+	img, err := (format{}).Write(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := elf.NewFile(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("debug/elf rejected our image: %v", err)
+	}
+	defer ef.Close()
+	if ef.Machine != elf.EM_SPARC {
+		t.Errorf("machine = %v", ef.Machine)
+	}
+	if ef.ByteOrder.String() != "BigEndian" {
+		t.Errorf("byte order = %v", ef.ByteOrder)
+	}
+	sec := ef.Section(".text")
+	if sec == nil {
+		t.Fatal("no .text section")
+	}
+	body, err := sec.Data()
+	if err != nil || !bytes.Equal(body, sample().Text().Data) {
+		t.Errorf("text data mismatch: %v", err)
+	}
+	syms, err := ef.Symbols()
+	if err != nil {
+		t.Fatalf("symbols: %v", err)
+	}
+	found := false
+	for _, s := range syms {
+		if s.Name == "main" && elf.ST_TYPE(s.Info) == elf.STT_FUNC {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("debug/elf did not see main as STT_FUNC")
+	}
+}
+
+func TestDetectRejectsOthers(t *testing.T) {
+	if (format{}).Detect([]byte{0x57, 0x45, 0x58, 0x45, 0, 0, 0, 1}) {
+		t.Error("detected aout image as ELF")
+	}
+	if (format{}).Detect([]byte{0x7f, 'E', 'L', 'F', 2, 1}) {
+		t.Error("accepted 64-bit little-endian ELF")
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	img, err := (format{}).Write(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-way: must error, not panic.
+	for _, n := range []int{10, 52, 60, len(img) / 2} {
+		if _, err := (format{}).Read(img[:n]); err == nil {
+			t.Errorf("accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestWriteRequiresText(t *testing.T) {
+	if _, err := (format{}).Write(&binfile.File{Format: FormatName}); err == nil {
+		t.Error("accepted image without text")
+	}
+}

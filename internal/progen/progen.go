@@ -1,0 +1,510 @@
+// Package progen deterministically generates synthetic SPARC
+// programs that exhibit the code idioms the paper's measurements
+// depend on (§3.1, §3.3): conditional and annulled branches with
+// delay slots, bounded loops, call DAGs, gcc-style switch lowering
+// through dispatch tables embedded in the text segment, SunPro-style
+// pop-frame-and-jump continuation transfers (the paper's only source
+// of unanalyzable indirect jumps), register-window routines,
+// multiple-entry routines, hidden (symbol-less) code, data tables
+// with routine-indistinguishable symbols, and debug/duplicate
+// labels.  Every generated program terminates deterministically, so
+// original and edited executions can be compared exactly.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"eel/internal/asm"
+	"eel/internal/binfile"
+)
+
+// Personality selects the compiler style whose idioms the program
+// imitates (the paper measured gcc/SunOS vs SunPro/Solaris).
+type Personality int
+
+// Personalities.
+const (
+	// GCC emits analyzable dispatch-table switches and ordinary
+	// returns — the paper found zero unanalyzable indirect jumps in
+	// this configuration.
+	GCC Personality = iota
+	// SunPro additionally emits pop-frame-and-jump continuation
+	// transfers, reproducing the 138 unanalyzable jumps the paper
+	// traced to that idiom.
+	SunPro
+)
+
+// Config parameterizes generation.
+type Config struct {
+	Seed        int64
+	Routines    int
+	Personality Personality
+	// SwitchFrac is the fraction of routines containing a
+	// dispatch-table switch.
+	SwitchFrac float64
+	// ContFrac (SunPro only) is the fraction of routines ending in
+	// a continuation jump.
+	ContFrac float64
+	// WindowFrac is the fraction of routines using register
+	// windows (save/restore).
+	WindowFrac float64
+	// DataTables embeds data blobs in the text segment with
+	// routine-indistinguishable symbols.
+	DataTables bool
+	// MultiEntry gives some routines a second, directly-called
+	// entry point (Fortran ENTRY).
+	MultiEntry bool
+	// HiddenFrac omits symbols for a fraction of routines.
+	HiddenFrac float64
+	// DebugLabels sprinkles temporary/debugging labels.
+	DebugLabels bool
+	// Strip removes the symbol table entirely.
+	Strip bool
+	// BodyOps scales routine body length.
+	BodyOps int
+	// MemHeavy biases generation toward loads and stores (for the
+	// Active Memory experiment's workloads).
+	MemHeavy bool
+	// Base is the text load address.
+	Base uint32
+}
+
+// DefaultConfig returns a medium-sized gcc-personality program.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Routines:    40,
+		Personality: GCC,
+		SwitchFrac:  0.25,
+		ContFrac:    0.15,
+		WindowFrac:  0.2,
+		DataTables:  true,
+		MultiEntry:  true,
+		HiddenFrac:  0.1,
+		DebugLabels: true,
+		BodyOps:     12,
+		Base:        0x10000,
+	}
+}
+
+// Program is a generated program with its source and image.
+type Program struct {
+	Source string
+	File   *binfile.File
+	Asm    *asm.Program
+	// ExpectedFeatures counts what was generated, for tests.
+	Switches      int
+	Continuations int
+	Hidden        int
+}
+
+type gen struct {
+	cfg     Config
+	rng     *rand.Rand
+	b       strings.Builder
+	label   int
+	program *Program
+	// tailTarget[i] >= 0 marks routine i as ending in the SunPro
+	// pop-frame-and-tail-call idiom, jumping to that routine through
+	// a function-pointer slot in writable data (unanalyzable).
+	tailTarget []int
+	// hasEntry2 marks multi-entry routines.
+	hasEntry2 []bool
+	usesWin   []bool
+	// mayCall marks non-leaf routines; they always use register
+	// windows, since a flat routine that calls would clobber its
+	// own return address in %o7.
+	mayCall []bool
+	hidden  []bool
+}
+
+// Generate builds a program per cfg.
+func Generate(cfg Config) (*Program, error) {
+	if cfg.Routines < 1 {
+		return nil, fmt.Errorf("progen: need at least one routine")
+	}
+	if cfg.Base == 0 {
+		cfg.Base = 0x10000
+	}
+	if cfg.BodyOps == 0 {
+		cfg.BodyOps = 12
+	}
+	g := &gen{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		program:    &Program{},
+		tailTarget: make([]int, cfg.Routines),
+		hasEntry2:  make([]bool, cfg.Routines),
+		usesWin:    make([]bool, cfg.Routines),
+		mayCall:    make([]bool, cfg.Routines),
+		hidden:     make([]bool, cfg.Routines),
+	}
+	for i := range g.tailTarget {
+		g.tailTarget[i] = -1
+		if cfg.Personality == SunPro && i+1 < cfg.Routines && g.rng.Float64() < cfg.ContFrac {
+			// Tail-call a later routine through a data-segment
+			// function pointer (the paper's unanalyzable idiom).
+			g.tailTarget[i] = i + 1 + g.rng.Intn(cfg.Routines-i-1)
+			g.program.Continuations++
+		}
+		isTail := g.tailTarget[i] >= 0
+		if i+1 < cfg.Routines && !isTail && g.rng.Float64() < 0.5 {
+			// Non-leaf: must keep a frame, so it uses windows.
+			g.mayCall[i] = true
+			g.usesWin[i] = true
+		} else if g.rng.Float64() < cfg.WindowFrac && !isTail {
+			g.usesWin[i] = true
+		}
+		// Second entry points skip prologue code, so they are
+		// incompatible with register windows (save would be
+		// skipped) and tail epilogues.
+		if cfg.MultiEntry && !g.usesWin[i] && !isTail && g.rng.Float64() < 0.15 {
+			g.hasEntry2[i] = true
+		}
+		if g.rng.Float64() < cfg.HiddenFrac {
+			g.hidden[i] = true
+			g.program.Hidden++
+		}
+	}
+	g.emitMain()
+	for i := 0; i < cfg.Routines; i++ {
+		g.emitRoutine(i)
+		if cfg.DataTables && g.rng.Float64() < 0.2 {
+			g.emitDataBlob()
+		}
+	}
+	src := g.b.String()
+	prog, err := asm.Assemble(src, cfg.Base)
+	if err != nil {
+		return nil, fmt.Errorf("progen: assembling generated program: %w", err)
+	}
+	f := &binfile.File{
+		Format: "aout",
+		Entry:  cfg.Base,
+		Sections: []binfile.Section{
+			{Name: "text", Addr: cfg.Base, Data: prog.Bytes},
+			{Name: "data", Addr: 0x400000, Data: make([]byte, 8192)},
+		},
+	}
+	g.addSymbols(f, prog)
+	if cfg.Strip {
+		f.Strip()
+	}
+	g.program.Source = src
+	g.program.File = f
+	g.program.Asm = prog
+	return g.program, nil
+}
+
+// MustGenerate panics on error (tests and benchmarks).
+func MustGenerate(cfg Config) *Program {
+	p, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (g *gen) l(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.label++
+	return fmt.Sprintf(".X%s%d", prefix, g.label)
+}
+
+// emitMain generates the entry routine: call every top-level routine
+// in sequence, mixing results, then exit.
+func (g *gen) emitMain() {
+	g.l("main:")
+	// Initialize the function-pointer slots for tail-call routines
+	// (writable data, so the slicer must not constant-fold them).
+	for i, tgt := range g.tailTarget {
+		if tgt < 0 {
+			continue
+		}
+		g.l("\tset r%d, %%l0", tgt)
+		g.l("\tset %d, %%l1", fpSlot(i))
+		g.l("\tst %%l0, [%%l1]")
+	}
+	g.l("\tmov %d, %%o0", 1+g.rng.Intn(64))
+	// Call a few roots of the DAG, several rounds (unrolled: main's
+	// locals are not preserved across flat callees, so no register
+	// loop counter survives here).
+	roots := 1 + g.rng.Intn(min(4, g.cfg.Routines))
+	for rep := 0; rep < 20; rep++ {
+		for i := 0; i < roots; i++ {
+			g.call(i * (g.cfg.Routines / roots))
+		}
+		g.l("\txor %%o0, %d, %%o0", rep+1)
+	}
+	g.l("\tmov 1, %%g1")
+	g.l("\tta 0")
+}
+
+// call emits a plain call to routine idx (or its second entry).
+func (g *gen) call(idx int) {
+	if idx >= g.cfg.Routines {
+		return
+	}
+	entry := fmt.Sprintf("r%d", idx)
+	if g.hasEntry2[idx] && g.rng.Intn(2) == 0 {
+		entry = fmt.Sprintf("r%d_entry2", idx)
+	}
+	g.l("\tcall %s", entry)
+	g.l("\tnop")
+}
+
+// emitRoutine generates routine idx.  Convention: argument and
+// result in %o0; %l0-%l7 and %o1-%o5 scratch.
+func (g *gen) emitRoutine(idx int) {
+	g.l("r%d:", idx)
+	win := g.usesWin[idx]
+	if win {
+		g.l("\tsave %%sp, -96, %%sp")
+		g.l("\tmov %%i0, %%o0")
+	}
+	if g.cfg.DebugLabels && g.rng.Intn(3) == 0 {
+		g.l("%s:", g.fresh("dbg"))
+	}
+	ops := g.cfg.BodyOps/2 + g.rng.Intn(g.cfg.BodyOps)
+	if g.hasEntry2[idx] && ops < 3 {
+		ops = 3
+	}
+	var switches []string // deferred dispatch tables
+	for i := 0; i < ops; i++ {
+		if g.hasEntry2[idx] && i == max(1, ops/3) {
+			// The second entry point (Fortran ENTRY): callers call
+			// it directly, skipping the code above.
+			g.l("r%d_entry2:", idx)
+		}
+		switch g.rng.Intn(9) {
+		case 0, 1, 2:
+			g.arith()
+		case 3:
+			g.loop()
+		case 4:
+			g.annulledLoop()
+		case 5:
+			g.ifThen()
+		case 6:
+			if g.rng.Float64() < g.cfg.SwitchFrac*2 {
+				switches = append(switches, g.dispatchSwitch())
+			} else {
+				g.arith()
+			}
+		case 7:
+			// Call a later routine (the DAG guarantees
+			// termination).  Continuation routines make no calls:
+			// their return protocol lives in %g1, which any callee
+			// chain might clobber.
+			lo := idx + 1
+			if lo < g.cfg.Routines && g.mayCall[idx] {
+				g.call(lo + g.rng.Intn(g.cfg.Routines-lo))
+			} else {
+				g.arith()
+			}
+		case 8:
+			if g.rng.Intn(4) == 0 {
+				g.fpOp(idx)
+			} else {
+				g.memOp(idx)
+			}
+		}
+		if g.cfg.MemHeavy && g.rng.Intn(2) == 0 {
+			g.memOp(idx)
+		}
+	}
+	// Epilogue.
+	switch {
+	case g.tailTarget[idx] >= 0:
+		// The SunPro idiom: pop the frame and jump to the callee
+		// through a function pointer loaded from writable data —
+		// the callee returns directly to this routine's caller via
+		// the untouched %o7.
+		g.l("\tset %d, %%l1", fpSlot(idx))
+		g.l("\tld [%%l1], %%g5")
+		g.l("\tadd %%sp, 0, %%sp")
+		g.l("\tjmp %%g5")
+		g.l("\tnop")
+	case win:
+		g.l("\tret")
+		g.l("\trestore %%o0, 0, %%o0")
+	default:
+		g.l("\tretl")
+		g.l("\tnop")
+	}
+	// Dispatch tables: data in the text segment, after the code
+	// (the paper's premise that text contains data).
+	for _, t := range switches {
+		g.l("\t.align 4")
+		g.l("%s", t)
+	}
+}
+
+func (g *gen) arith() {
+	dst := []string{"%o0", "%l0", "%l1", "%l2", "%o1", "%o2"}[g.rng.Intn(6)]
+	src := []string{"%o0", "%l0", "%l1", "%o1"}[g.rng.Intn(4)]
+	op := []string{"add", "sub", "xor", "and", "or", "sll", "srl"}[g.rng.Intn(7)]
+	imm := g.rng.Intn(31) + 1
+	if op == "sll" || op == "srl" {
+		imm = g.rng.Intn(5) + 1
+	}
+	g.l("\t%s %s, %d, %s", op, src, imm, dst)
+}
+
+func (g *gen) loop() {
+	top := g.fresh("loop")
+	n := 2 + g.rng.Intn(6)
+	g.l("\tmov %d, %%l6", n)
+	g.l("%s:", top)
+	g.arith()
+	g.l("\tsubcc %%l6, 1, %%l6")
+	g.l("\tbne %s", top)
+	g.l("\tnop")
+}
+
+// annulledLoop uses a bne,a with productive code in the slot — the
+// Fig 3 normalization case.
+func (g *gen) annulledLoop() {
+	top := g.fresh("aloop")
+	n := 2 + g.rng.Intn(5)
+	g.l("\tmov %d, %%l7", n)
+	g.l("%s:", top)
+	g.l("\tsubcc %%l7, 1, %%l7")
+	g.l("\tbne,a %s", top)
+	g.l("\tadd %%o0, 3, %%o0")
+}
+
+func (g *gen) ifThen() {
+	skip := g.fresh("skip")
+	cond := []string{"be", "bne", "bg", "ble", "bl", "bge", "bgu", "bleu"}[g.rng.Intn(8)]
+	g.l("\tcmp %%o0, %d", g.rng.Intn(64))
+	g.l("\t%s %s", cond, skip)
+	g.l("\tnop")
+	g.arith()
+	g.l("%s:", skip)
+}
+
+// dispatchSwitch emits a gcc-style switch and returns its table text
+// (placed after the routine body).
+func (g *gen) dispatchSwitch() string {
+	g.program.Switches++
+	n := 3 + g.rng.Intn(5)
+	tab := g.fresh("tab")
+	def := g.fresh("def")
+	end := g.fresh("end")
+	arms := make([]string, n)
+	for i := range arms {
+		arms[i] = g.fresh("case")
+	}
+	g.l("\tand %%o0, %d, %%l5", n) // bounded-ish index
+	g.l("\tcmp %%l5, %d", n-1)
+	g.l("\tbgu %s", def)
+	g.l("\tsll %%l5, 2, %%l4")
+	g.l("\tset %s, %%l3", tab)
+	g.l("\tld [%%l3+%%l4], %%l3")
+	g.l("\tjmp %%l3")
+	g.l("\tnop")
+	for i, a := range arms {
+		g.l("%s:", a)
+		g.l("\tadd %%o0, %d, %%o0", i+1)
+		g.l("\tba %s", end)
+		g.l("\tnop")
+	}
+	g.l("%s:", def)
+	g.l("\txor %%o0, 5, %%o0")
+	g.l("%s:", end)
+
+	var t strings.Builder
+	fmt.Fprintf(&t, "%s:", tab)
+	for _, a := range arms {
+		fmt.Fprintf(&t, "\n\t.word %s", a)
+	}
+	return t.String()
+}
+
+// memOp stores and reloads through the data segment.
+func (g *gen) memOp(idx int) {
+	slot := 0x400000 + uint32(idx%32)*8
+	g.l("\tset %d, %%l3", slot)
+	g.l("\tst %%o0, [%%l3]")
+	g.l("\tld [%%l3], %%l2")
+	g.l("\tadd %%o0, %%l2, %%o0")
+	g.l("\tsrl %%o0, 1, %%o0")
+}
+
+// fpOp exercises the floating-point file: convert the integer
+// accumulator, do arithmetic, convert back (deterministic since the
+// values are small integers).
+func (g *gen) fpOp(idx int) {
+	slot := 0x400400 + uint32(idx%16)*4
+	g.l("\tset %d, %%l3", slot)
+	g.l("\tand %%o0, 0xff, %%l2")
+	g.l("\tst %%l2, [%%l3]")
+	g.l("\tldf [%%l3], %%f0")
+	g.l("\tfitos %%f0, %%f1")
+	g.l("\tfadds %%f1, %%f1, %%f2")
+	g.l("\tfstoi %%f2, %%f3")
+	g.l("\tstf %%f3, [%%l3]")
+	g.l("\tld [%%l3], %%l2")
+	g.l("\txor %%o0, %%l2, %%o0")
+}
+
+// emitDataBlob embeds a data table in text with a
+// routine-indistinguishable label (§3.1).
+func (g *gen) emitDataBlob() {
+	g.l("\t.align 4")
+	g.l("dtab%d:", g.label)
+	g.label++
+	n := 2 + g.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		g.l("\t.word %d", g.rng.Uint32())
+	}
+}
+
+// addSymbols builds the (misleading, in the paper's sense) symbol
+// table: function symbols for visible routines, label-kind symbols
+// for data blobs, debug labels, and a duplicate.
+func (g *gen) addSymbols(f *binfile.File, prog *asm.Program) {
+	add := func(name string, kind binfile.SymKind, global bool) {
+		if addr, ok := prog.Labels[name]; ok {
+			f.Symbols = append(f.Symbols, binfile.Symbol{Name: name, Addr: addr, Kind: kind, Global: global})
+		}
+	}
+	add("main", binfile.SymFunc, true)
+	for i := 0; i < g.cfg.Routines; i++ {
+		if g.hidden[i] {
+			continue // hidden routine: no symbol
+		}
+		add(fmt.Sprintf("r%d", i), binfile.SymFunc, true)
+	}
+	for name, addr := range prog.Labels {
+		switch {
+		case strings.HasPrefix(name, "dtab"):
+			// Indistinguishable from a routine label.
+			f.Symbols = append(f.Symbols, binfile.Symbol{Name: name, Addr: addr, Kind: binfile.SymLabel})
+		case g.cfg.DebugLabels && strings.HasPrefix(name, ".Xdbg"):
+			f.Symbols = append(f.Symbols, binfile.Symbol{Name: name, Addr: addr, Kind: binfile.SymDebug})
+		}
+	}
+	// A duplicate label for refinement to discard.
+	if addr, ok := prog.Labels["main"]; ok {
+		f.Symbols = append(f.Symbols, binfile.Symbol{Name: "main_dup", Addr: addr, Kind: binfile.SymLabel})
+	}
+	f.SortSymbols()
+}
+
+// fpSlot returns the data-segment address of routine i's
+// function-pointer slot.
+func fpSlot(i int) uint32 { return 0x400800 + uint32(i)*4 }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+// Package rtl implements the register-transfer-level language that
+// spawn machine descriptions use to express instruction semantics
+// (paper §4, Fig 7).  The same ASTs serve three masters: spawn's
+// static analysis derives instruction categories and register
+// read/write sets from them; spawn's partial evaluator computes
+// static branch/call targets from them; and the emulator executes
+// them directly, which is how a ~150-line description yields a
+// complete machine implementation.
+//
+// The concrete syntax follows the paper: "," separates operations
+// that execute in parallel, ";" separates sequential steps (a control
+// transfer whose pc assignment sits in a late step is a delayed
+// branch), "c ? a : b" guards statements, ":=" assigns, "\x.body"
+// abstracts, juxtaposition applies, "[a b c]" builds vectors, "f @ v"
+// maps f over v, and 'sym quotes a condition-test symbol.
+package rtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any RTL syntax node.  The language is unified: statements
+// and expressions share one AST, because description-level bindings
+// ("val") may denote either.
+type Node interface {
+	fmt.Stringer
+	node()
+}
+
+// Num is an integer literal.
+type Num struct{ Val int64 }
+
+// Ident is an unresolved name.  Spawn resolves identifiers against
+// the description's field, register, alias, and val tables.
+type Ident struct{ Name string }
+
+// Sym is a quoted condition-test symbol, e.g. 'ne.
+type Sym struct{ Name string }
+
+// Index is base[index]: a register-file reference (R[rs1]) or — when
+// base is M — the address part of a memory reference.
+type Index struct {
+	Base  Node
+	Elem  Node
+	Width Node // non-nil only for M[addr]{width}
+}
+
+// Bin is a binary operation.  Ops: + - * / % & | ^ << >> == != < <=
+// > >= && ||.  Comparison and logical operators yield 0 or 1.
+type Bin struct {
+	Op   string
+	L, R Node
+}
+
+// Un is a unary operation: - ~ !.
+type Un struct {
+	Op string
+	X  Node
+}
+
+// Cond is "c ? t : f"; F may be nil (a guard with no else arm).
+type Cond struct{ C, T, F Node }
+
+// Assign is "lhs := rhs".
+type Assign struct{ LHS, RHS Node }
+
+// Seq is a parenthesized statement list: Steps[i] holds the parallel
+// operations of sequential step i.
+type Seq struct{ Steps [][]Node }
+
+// Lambda is "\param . body".
+type Lambda struct {
+	Param string
+	Body  Node
+}
+
+// Apply is function application by juxtaposition: Fn Arg.
+type Apply struct{ Fn, Arg Node }
+
+// Vector is "[e1 e2 ...]".
+type Vector struct{ Elems []Node }
+
+// MapApply is "f @ v": elementwise application over a vector.
+type MapApply struct{ Fn, Vec Node }
+
+func (Num) node()      {}
+func (Ident) node()    {}
+func (Sym) node()      {}
+func (Index) node()    {}
+func (Bin) node()      {}
+func (Un) node()       {}
+func (Cond) node()     {}
+func (Assign) node()   {}
+func (Seq) node()      {}
+func (Lambda) node()   {}
+func (Apply) node()    {}
+func (Vector) node()   {}
+func (MapApply) node() {}
+
+// String renders nodes in (approximately) source syntax.
+func (n Num) String() string   { return fmt.Sprintf("%d", n.Val) }
+func (n Ident) String() string { return n.Name }
+func (n Sym) String() string   { return "'" + n.Name }
+
+func (n Index) String() string {
+	if n.Width != nil {
+		return fmt.Sprintf("%s[%s]{%s}", n.Base, n.Elem, n.Width)
+	}
+	return fmt.Sprintf("%s[%s]", n.Base, n.Elem)
+}
+
+func (n Bin) String() string { return fmt.Sprintf("(%s %s %s)", n.L, n.Op, n.R) }
+func (n Un) String() string  { return fmt.Sprintf("(%s%s)", n.Op, n.X) }
+func (n Cond) String() string {
+	if n.F == nil {
+		return fmt.Sprintf("(%s ? %s)", n.C, n.T)
+	}
+	return fmt.Sprintf("(%s ? %s : %s)", n.C, n.T, n.F)
+}
+func (n Assign) String() string { return fmt.Sprintf("%s := %s", n.LHS, n.RHS) }
+
+func (n Seq) String() string {
+	var steps []string
+	for _, step := range n.Steps {
+		var ops []string
+		for _, op := range step {
+			ops = append(ops, op.String())
+		}
+		steps = append(steps, strings.Join(ops, ", "))
+	}
+	return "(" + strings.Join(steps, "; ") + ")"
+}
+
+func (n Lambda) String() string { return fmt.Sprintf("\\%s.%s", n.Param, n.Body) }
+func (n Apply) String() string  { return fmt.Sprintf("(%s %s)", n.Fn, n.Arg) }
+
+func (n Vector) String() string {
+	var elems []string
+	for _, e := range n.Elems {
+		elems = append(elems, e.String())
+	}
+	return "[" + strings.Join(elems, " ") + "]"
+}
+
+func (n MapApply) String() string { return fmt.Sprintf("(%s @ %s)", n.Fn, n.Vec) }
+
+// Walk calls f on n and every descendant, pre-order.  It visits the
+// structural children of each node kind.
+func Walk(n Node, f func(Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	switch x := n.(type) {
+	case Index:
+		Walk(x.Base, f)
+		Walk(x.Elem, f)
+		Walk(x.Width, f)
+	case Bin:
+		Walk(x.L, f)
+		Walk(x.R, f)
+	case Un:
+		Walk(x.X, f)
+	case Cond:
+		Walk(x.C, f)
+		Walk(x.T, f)
+		Walk(x.F, f)
+	case Assign:
+		Walk(x.LHS, f)
+		Walk(x.RHS, f)
+	case Seq:
+		for _, step := range x.Steps {
+			for _, op := range step {
+				Walk(op, f)
+			}
+		}
+	case Lambda:
+		Walk(x.Body, f)
+	case Apply:
+		Walk(x.Fn, f)
+		Walk(x.Arg, f)
+	case Vector:
+		for _, e := range x.Elems {
+			Walk(e, f)
+		}
+	case MapApply:
+		Walk(x.Fn, f)
+		Walk(x.Vec, f)
+	}
+}
+
+// Subst returns n with every free occurrence of Ident{name} replaced
+// by repl.  Lambda binders shadow as usual.
+func Subst(n Node, name string, repl Node) Node {
+	switch x := n.(type) {
+	case nil:
+		return nil
+	case Num, Sym:
+		return x
+	case Ident:
+		if x.Name == name {
+			return repl
+		}
+		return x
+	case Index:
+		return Index{Base: Subst(x.Base, name, repl), Elem: Subst(x.Elem, name, repl), Width: substOrNil(x.Width, name, repl)}
+	case Bin:
+		return Bin{Op: x.Op, L: Subst(x.L, name, repl), R: Subst(x.R, name, repl)}
+	case Un:
+		return Un{Op: x.Op, X: Subst(x.X, name, repl)}
+	case Cond:
+		return Cond{C: Subst(x.C, name, repl), T: Subst(x.T, name, repl), F: substOrNil(x.F, name, repl)}
+	case Assign:
+		return Assign{LHS: Subst(x.LHS, name, repl), RHS: Subst(x.RHS, name, repl)}
+	case Seq:
+		steps := make([][]Node, len(x.Steps))
+		for i, step := range x.Steps {
+			steps[i] = make([]Node, len(step))
+			for j, op := range step {
+				steps[i][j] = Subst(op, name, repl)
+			}
+		}
+		return Seq{Steps: steps}
+	case Lambda:
+		if x.Param == name {
+			return x // shadowed
+		}
+		return Lambda{Param: x.Param, Body: Subst(x.Body, name, repl)}
+	case Apply:
+		return Apply{Fn: Subst(x.Fn, name, repl), Arg: Subst(x.Arg, name, repl)}
+	case Vector:
+		elems := make([]Node, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = Subst(e, name, repl)
+		}
+		return Vector{Elems: elems}
+	case MapApply:
+		return MapApply{Fn: Subst(x.Fn, name, repl), Vec: Subst(x.Vec, name, repl)}
+	default:
+		return n
+	}
+}
+
+func substOrNil(n Node, name string, repl Node) Node {
+	if n == nil {
+		return nil
+	}
+	return Subst(n, name, repl)
+}
+
+// UnwrapSeq flattens a single-operation Seq to that operation; other
+// nodes pass through.  Parenthesized expressions parse as one-step,
+// one-op Seqs, so evaluators call this before dispatch.
+func UnwrapSeq(n Node) Node {
+	if s, ok := n.(Seq); ok && len(s.Steps) == 1 && len(s.Steps[0]) == 1 {
+		return UnwrapSeq(s.Steps[0][0])
+	}
+	return n
+}

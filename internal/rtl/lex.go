@@ -1,0 +1,153 @@
+package rtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds produced by the lexer.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokSym // 'name
+	tokOp  // punctuation / operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	pos  int // byte offset, for error reporting
+	line int
+}
+
+// lexer tokenizes RTL / spawn-description source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{":=", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||"}
+
+// LexError reports a tokenization failure with position context.
+type LexError struct {
+	Line int
+	Msg  string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("rtl: line %d: %s", e.Line, e.Msg) }
+
+// lex tokenizes src.  Comments run from "//" to end of line.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\'':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			if l.pos == start {
+				return nil, &LexError{l.line, "empty quoted symbol"}
+			}
+			l.emit(tokSym, l.src[start:l.pos], 0, start)
+		case isDigit(c):
+			if err := l.lexNum(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], 0, start)
+		default:
+			if op := l.matchMultiOp(); op != "" {
+				l.emit(tokOp, op, 0, l.pos)
+				l.pos += len(op)
+				break
+			}
+			if strings.ContainsRune("()[]{}+-*/%&|^~!<>=?:,;.\\@", rune(c)) {
+				l.emit(tokOp, string(c), 0, l.pos)
+				l.pos++
+				break
+			}
+			return nil, &LexError{l.line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	l.emit(tokEOF, "", 0, l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokKind, text string, val int64, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, val: val, pos: pos, line: l.line})
+}
+
+func (l *lexer) matchMultiOp() string {
+	rest := l.src[l.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			return op
+		}
+	}
+	return ""
+}
+
+func (l *lexer) lexNum() error {
+	start := l.pos
+	base := 10
+	digits := "0123456789"
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		base, digits = 16, "0123456789abcdefABCDEF"
+		l.pos += 2
+	} else if strings.HasPrefix(l.src[l.pos:], "0b") || strings.HasPrefix(l.src[l.pos:], "0B") {
+		base, digits = 2, "01"
+		l.pos += 2
+	}
+	numStart := l.pos
+	for l.pos < len(l.src) && strings.ContainsRune(digits, rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[numStart:l.pos]
+	if text == "" {
+		if base != 10 {
+			return &LexError{l.line, "number prefix with no digits"}
+		}
+		text = "0"
+	}
+	v, err := strconv.ParseInt(text, base, 64)
+	if err != nil {
+		return &LexError{l.line, fmt.Sprintf("bad number %q: %v", l.src[start:l.pos], err)}
+	}
+	l.emit(tokNum, l.src[start:l.pos], v, start)
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

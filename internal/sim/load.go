@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"io"
+
+	"eel/internal/binfile"
+	"eel/internal/sparc"
+)
+
+// DefaultStack is the initial stack pointer used by LoadFile.
+const DefaultStack = 0x7ff000
+
+// LoadFile builds a CPU with every section of f loaded, execution
+// restricted to the text section, and the pc at the entry point.
+func LoadFile(f *binfile.File, stdout io.Writer) *CPU {
+	mem := NewMemory()
+	for _, s := range f.Sections {
+		mem.LoadSegment(s.Addr, s.Data)
+	}
+	cpu := New(sparc.NewDecoder(), mem)
+	cpu.Stdout = stdout
+	if text := f.Text(); text != nil {
+		cpu.TextStart, cpu.TextEnd = text.Addr, text.End()
+	}
+	cpu.Reset(f.Entry, DefaultStack)
+	return cpu
+}

@@ -1,0 +1,436 @@
+// Package sim is a SPARC V8 emulator driven directly by the spawn
+// machine description's RTL semantics: each step decodes a word and
+// executes its semantic AST, so the description is the single source
+// of truth for both analysis and execution.  The emulator models
+// delayed control transfers, annulled delay slots, register windows,
+// big-endian memory, and a small system-call ABI — everything the
+// paper's execution-based experiments (Active Memory cache
+// simulation, edited-program validation) need.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"eel/internal/machine"
+	"eel/internal/rtl"
+	"eel/internal/spawn"
+)
+
+// System-call numbers (in %g1 when executing "ta 0").
+const (
+	SysExit  = 1 // exit(%o0)
+	SysWrite = 4 // write(%o0 fd, %o1 buf, %o2 len) -> %o0 bytes
+)
+
+// Fault describes an execution failure with its faulting address.
+type Fault struct {
+	PC  uint32
+	Err error
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("sim: fault at %#x: %v", f.PC, f.Err) }
+
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Common fault causes.
+var (
+	ErrIllegalInst  = errors.New("illegal instruction")
+	ErrMisaligned   = errors.New("misaligned memory access")
+	ErrUnmappedExec = errors.New("execution outside mapped text")
+	ErrBadSyscall   = errors.New("unknown system call")
+	ErrStepLimit    = errors.New("step limit exceeded")
+)
+
+const pageSize = 1 << 12
+
+// Memory is a sparse, big-endian, byte-addressed 32-bit memory.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint32]*[pageSize]byte{}}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	key := addr / pageSize
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr (unmapped memory reads zero).
+func (m *Memory) ByteAt(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr%pageSize]
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint32, b byte) {
+	m.page(addr, true)[addr%pageSize] = b
+}
+
+// Read reads width bytes big-endian, zero-extended.
+func (m *Memory) Read(addr uint32, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v = v<<8 | uint64(m.ByteAt(addr+uint32(i)))
+	}
+	return v
+}
+
+// Write stores the low width bytes of v big-endian at addr.
+func (m *Memory) Write(addr uint32, width int, v uint64) {
+	for i := width - 1; i >= 0; i-- {
+		m.SetByte(addr+uint32(i), byte(v))
+		v >>= 8
+	}
+}
+
+// Read32 reads a big-endian word.
+func (m *Memory) Read32(addr uint32) uint32 { return uint32(m.Read(addr, 4)) }
+
+// Write32 stores a big-endian word.
+func (m *Memory) Write32(addr uint32, v uint32) { m.Write(addr, 4, uint64(v)) }
+
+// LoadSegment copies data into memory at addr.
+func (m *Memory) LoadSegment(addr uint32, data []byte) {
+	for i, b := range data {
+		m.SetByte(addr+uint32(i), b)
+	}
+}
+
+// window is one SPARC register window's saved locals and ins.
+type window struct {
+	locals [8]uint32
+	ins    [8]uint32
+}
+
+// CPU is one SPARC V8 processor.
+type CPU struct {
+	// R holds the current window's view: 0-7 globals, 8-15 outs,
+	// 16-23 locals, 24-31 ins.
+	R   [32]uint32
+	Y   uint32
+	PSR uint32
+	FSR uint32
+	F   [32]uint32
+
+	PC, NPC uint32
+
+	Mem *Memory
+
+	// Stdout receives SysWrite output; nil discards it.
+	Stdout io.Writer
+
+	// Halted is set by SysExit; ExitCode carries its argument.
+	Halted   bool
+	ExitCode uint32
+
+	// InstCount counts executed (non-annulled) instructions; the
+	// Active Memory experiment's "slowdown" is a ratio of these.
+	InstCount uint64
+	// AnnulCount counts annulled (skipped) delay slots.
+	AnnulCount uint64
+
+	// TextStart/TextEnd bound executable memory; a pc outside
+	// faults rather than interpreting data (catches editing bugs).
+	TextStart, TextEnd uint32
+
+	// OnExec, if set, observes every executed instruction — tests
+	// use it to compute ground-truth branch/edge counts.
+	OnExec func(pc uint32, inst *machine.Inst)
+
+	dec       *spawn.TableDecoder
+	windows   []window
+	annulNext bool
+
+	// transfer state recorded by the RTL environment during one step
+	delayedTarget   uint32
+	hasDelayed      bool
+	immediateTarget uint32
+	hasImmediate    bool
+	curInst         *machine.Inst
+}
+
+// New returns a CPU using dec (which must be a SPARC-shaped
+// description: integer file "R" with Y/PSR/FSR aliases).
+func New(dec *spawn.TableDecoder, mem *Memory) *CPU {
+	return &CPU{Mem: mem, dec: dec}
+}
+
+// Reset prepares the CPU to run from entry with the given stack
+// pointer.
+func (c *CPU) Reset(entry, sp uint32) {
+	c.R = [32]uint32{}
+	c.R[14] = sp
+	c.Y, c.PSR, c.FSR = 0, 0, 0
+	c.F = [32]uint32{}
+	c.PC, c.NPC = entry, entry+4
+	c.Halted = false
+	c.ExitCode = 0
+	c.InstCount = 0
+	c.AnnulCount = 0
+	c.windows = c.windows[:0]
+	c.annulNext = false
+}
+
+// Step executes one instruction.  It returns nil when the program
+// halts cleanly.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	if c.TextEnd > c.TextStart && (c.PC < c.TextStart || c.PC >= c.TextEnd) {
+		return &Fault{c.PC, ErrUnmappedExec}
+	}
+	if c.PC%4 != 0 {
+		return &Fault{c.PC, ErrMisaligned}
+	}
+	word := c.Mem.Read32(c.PC)
+	inst := c.dec.Decode(word)
+	if !inst.Valid() {
+		return &Fault{c.PC, fmt.Errorf("%w: %#08x", ErrIllegalInst, word)}
+	}
+	sem, ok := inst.Sem().(*spawn.InstSem)
+	if !ok {
+		return &Fault{c.PC, fmt.Errorf("instruction %s lacks semantics", inst.Name())}
+	}
+	c.curInst = inst
+	c.hasDelayed, c.hasImmediate = false, false
+	annulBefore := c.annulNext
+
+	if c.OnExec != nil {
+		c.OnExec(c.PC, inst)
+	}
+	if err := rtl.Exec(sem.Def.Sem, &cpuEnv{c}); err != nil {
+		return &Fault{c.PC, err}
+	}
+	c.InstCount++
+	if c.Halted {
+		return nil
+	}
+
+	// Advance the delayed-control-transfer pipeline.
+	newPC := c.NPC
+	newNPC := c.NPC + 4
+	if c.hasImmediate {
+		newPC = c.immediateTarget
+		newNPC = newPC + 4
+	} else if c.hasDelayed {
+		newNPC = c.delayedTarget
+	}
+	c.PC, c.NPC = newPC, newNPC
+	if c.annulNext != annulBefore { // this instruction annulled its slot
+		c.annulNext = false
+		c.AnnulCount++
+		c.PC = c.NPC
+		c.NPC += 4
+	}
+	return nil
+}
+
+// Run executes until halt or maxSteps instructions.
+func (c *CPU) Run(maxSteps uint64) error {
+	for !c.Halted {
+		if c.InstCount >= maxSteps {
+			return &Fault{c.PC, ErrStepLimit}
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cpuEnv adapts CPU to rtl.Machine.  It is a type alias-style view so
+// the evaluator can call back without allocation.
+type cpuEnv struct{ c *CPU }
+
+func (e *cpuEnv) Field(name string) (int64, bool) {
+	v, ok := e.c.curInst.Field(name)
+	return int64(v), ok
+}
+
+func (e *cpuEnv) FieldWidth(name string) (int, bool) {
+	f, ok := e.c.dec.Desc().Field(name)
+	if !ok {
+		return 0, false
+	}
+	return f.Width(), true
+}
+
+func (e *cpuEnv) RegAlias(name string) (string, int64, bool) {
+	a, ok := e.c.dec.Desc().AliasFor(name)
+	if !ok {
+		return "", 0, false
+	}
+	return a.File, a.Index, true
+}
+
+func (e *cpuEnv) IsRegFile(name string) bool {
+	rf, ok := e.c.dec.Desc().File(name)
+	return ok && rf.Count > 0
+}
+
+func (e *cpuEnv) ReadReg(file string, idx int64) (uint64, error) {
+	switch file {
+	case "R":
+		switch {
+		case idx == 0:
+			return 0, nil
+		case idx < 32:
+			return uint64(e.c.R[idx]), nil
+		case idx == 32:
+			return uint64(e.c.Y), nil
+		case idx == 33:
+			return uint64(e.c.PSR), nil
+		case idx == 34:
+			return uint64(e.c.FSR), nil
+		}
+	case "F":
+		if idx >= 0 && idx < 32 {
+			return uint64(e.c.F[idx]), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: read of unknown register %s[%d]", file, idx)
+}
+
+func (e *cpuEnv) WriteReg(file string, idx int64, v uint64) error {
+	switch file {
+	case "R":
+		switch {
+		case idx == 0:
+			return nil // hardwired zero
+		case idx < 32:
+			e.c.R[idx] = uint32(v)
+			return nil
+		case idx == 32:
+			e.c.Y = uint32(v)
+			return nil
+		case idx == 33:
+			e.c.PSR = uint32(v)
+			return nil
+		case idx == 34:
+			e.c.FSR = uint32(v)
+			return nil
+		}
+	case "F":
+		if idx >= 0 && idx < 32 {
+			e.c.F[idx] = uint32(v)
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: write of unknown register %s[%d]", file, idx)
+}
+
+func (e *cpuEnv) ReadMem(addr uint64, width int) (uint64, error) {
+	a := uint32(addr)
+	if width > 1 && a%uint32(width) != 0 {
+		return 0, fmt.Errorf("%w: read%d at %#x", ErrMisaligned, width, a)
+	}
+	return e.c.Mem.Read(a, width), nil
+}
+
+func (e *cpuEnv) WriteMem(addr uint64, width int, v uint64) error {
+	a := uint32(addr)
+	if width > 1 && a%uint32(width) != 0 {
+		return fmt.Errorf("%w: write%d at %#x", ErrMisaligned, width, a)
+	}
+	e.c.Mem.Write(a, width, v)
+	return nil
+}
+
+func (e *cpuEnv) PC() uint64 { return uint64(e.c.PC) }
+
+func (e *cpuEnv) SetPC(v uint64, delayed bool) {
+	if delayed {
+		e.c.delayedTarget = uint32(v)
+		e.c.hasDelayed = true
+	} else {
+		e.c.immediateTarget = uint32(v)
+		e.c.hasImmediate = true
+	}
+}
+
+func (e *cpuEnv) Annul() { e.c.annulNext = true }
+
+// Trap implements the system-call ABI: "ta 0" with the call number
+// in %g1 and arguments in %o0..%o3.
+func (e *cpuEnv) Trap(code uint64) error {
+	if code != 0 {
+		return fmt.Errorf("sim: unhandled trap %d", code)
+	}
+	switch e.c.R[1] { // %g1
+	case SysExit:
+		e.c.Halted = true
+		e.c.ExitCode = e.c.R[8]
+		return nil
+	case SysWrite:
+		buf := e.c.R[9]
+		n := e.c.R[10]
+		if e.c.Stdout != nil {
+			data := make([]byte, n)
+			for i := uint32(0); i < n; i++ {
+				data[i] = e.c.Mem.ByteAt(buf + i)
+			}
+			if _, err := e.c.Stdout.Write(data); err != nil {
+				return fmt.Errorf("sim: write syscall: %w", err)
+			}
+		}
+		e.c.R[8] = n
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadSyscall, e.c.R[1])
+	}
+}
+
+// Special implements SPARC register windows.  winsave computes the
+// new stack pointer in the old window, shifts the window (callee's
+// ins are the caller's outs), and writes rd in the new window;
+// winrestore reverses it.
+func (e *cpuEnv) Special(name string, args []uint64) error {
+	if len(args) != 2 {
+		return fmt.Errorf("sim: %s wants 2 arguments", name)
+	}
+	v := uint32(args[0])
+	rd := int(args[1])
+	switch name {
+	case "winsave":
+		var w window
+		copy(w.locals[:], e.c.R[16:24])
+		copy(w.ins[:], e.c.R[24:32])
+		e.c.windows = append(e.c.windows, w)
+		copy(e.c.R[24:32], e.c.R[8:16]) // new ins = old outs
+		for i := 8; i < 24; i++ {
+			e.c.R[i] = 0 // fresh outs and locals
+		}
+	case "winrestore":
+		copy(e.c.R[8:16], e.c.R[24:32]) // new outs = old ins
+		if n := len(e.c.windows); n > 0 {
+			w := e.c.windows[n-1]
+			e.c.windows = e.c.windows[:n-1]
+			copy(e.c.R[16:24], w.locals[:])
+			copy(e.c.R[24:32], w.ins[:])
+		} else {
+			for i := 16; i < 32; i++ {
+				e.c.R[i] = 0
+			}
+		}
+	default:
+		return fmt.Errorf("sim: unknown special %q", name)
+	}
+	if rd != 0 && rd < 32 {
+		e.c.R[rd] = v
+	}
+	return nil
+}

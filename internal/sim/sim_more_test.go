@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eel/internal/machine"
+)
+
+// These tests cover the semantic corners the main suite does not:
+// carry arithmetic, the Y register, doubleword and atomic memory
+// operations, and memory properties.
+
+func TestCarryChain(t *testing.T) {
+	// 64-bit add from 32-bit halves: addcc sets C, addx consumes it.
+	cpu, _ := load(t, `
+	set 0xffffffff, %l0   ! low(a)
+	mov 0, %l1            ! high(a)
+	mov 1, %l2            ! low(b)
+	mov 0, %l3            ! high(b)
+	addcc %l0, %l2, %o1   ! low sum, sets carry
+	addx %l1, %l3, %o0    ! high sum + carry
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 1 {
+		t.Errorf("high word = %d, want 1 (carry)", cpu.ExitCode)
+	}
+	if cpu.R[9] != 0 {
+		t.Errorf("low word = %#x, want 0", cpu.R[9])
+	}
+}
+
+func TestSubxBorrow(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 0, %l0
+	mov 1, %l1
+	subcc %l0, %l1, %o1   ! 0-1: borrow
+	mov 5, %l2
+	subx %l2, 0, %o0      ! 5 - 0 - borrow = 4
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 4 {
+		t.Errorf("subx = %d, want 4", cpu.ExitCode)
+	}
+}
+
+func TestYRegister(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 7, %l0
+	wr %l0, %y
+	rd %y, %o0
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 7 {
+		t.Errorf("y round trip = %d", cpu.ExitCode)
+	}
+}
+
+func TestDoubleword(t *testing.T) {
+	cpu, _ := load(t, `
+	set buf, %l0
+	set 0x11223344, %o2
+	set 0x55667788, %o3
+	std %o2, [%l0]
+	ldd [%l0], %o4
+	xor %o4, %o2, %o0
+	xor %o5, %o3, %o1
+	or %o0, %o1, %o0
+	mov 1, %g1
+	ta 0
+	.align 8
+buf:	.skip 8
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 0 {
+		t.Errorf("ldd/std round trip failed: %d", cpu.ExitCode)
+	}
+}
+
+func TestLdstubAtomic(t *testing.T) {
+	cpu, _ := load(t, `
+	set lock, %l0
+	ldstub [%l0], %o0     ! acquire: reads 0, writes 0xff
+	ldstub [%l0], %o1     ! second acquire: reads 0xff
+	mov 1, %g1
+	ta 0
+	.align 4
+lock:	.byte 0
+	.byte 0, 0, 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 0 {
+		t.Errorf("first ldstub = %d, want 0", cpu.ExitCode)
+	}
+	if cpu.R[9] != 0xff {
+		t.Errorf("second ldstub = %#x, want 0xff", cpu.R[9])
+	}
+}
+
+func TestSwapInstruction(t *testing.T) {
+	cpu, _ := load(t, `
+	set buf, %l0
+	mov 42, %l1
+	st %l1, [%l0]
+	mov 7, %o0
+	swap [%l0], %o0       ! o0 <-> [buf]
+	ld [%l0], %o1
+	mov 1, %g1
+	ta 0
+	.align 4
+buf:	.word 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 42 {
+		t.Errorf("swap loaded %d", cpu.ExitCode)
+	}
+	if cpu.R[9] != 7 {
+		t.Errorf("swap stored %d", cpu.R[9])
+	}
+}
+
+func TestXnorAndShifts(t *testing.T) {
+	cpu, _ := load(t, `
+	set 0xf0f0f0f0, %l0
+	xnor %l0, 0, %o0      ! ~x
+	srl %o0, 28, %o0      ! 0x0f0f0f0f >> 28 = 0
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 0 {
+		t.Errorf("xnor/srl = %#x", cpu.ExitCode)
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	mem := NewMemory()
+	f := func(addr uint32, v uint32) bool {
+		a := addr &^ 3
+		mem.Write32(a, v)
+		return mem.Read32(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Byte-level big-endian agreement.
+	g := func(addr uint32, v uint32) bool {
+		a := addr &^ 3
+		mem.Write32(a, v)
+		return mem.ByteAt(a) == byte(v>>24) && mem.ByteAt(a+3) == byte(v)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalfwordMemory(t *testing.T) {
+	mem := NewMemory()
+	mem.Write(0x100, 2, 0xBEEF)
+	if mem.Read(0x100, 2) != 0xBEEF {
+		t.Error("halfword round trip")
+	}
+	if mem.ByteAt(0x100) != 0xBE || mem.ByteAt(0x101) != 0xEF {
+		t.Error("halfword endianness")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	cpu, prog := load(t, `
+	mov 9, %l0
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	cpu.Reset(prog.Base, 0x7ff000)
+	if cpu.Halted || cpu.InstCount != 0 || cpu.R[16] != 0 {
+		t.Error("Reset left state behind")
+	}
+	run(t, cpu) // runs again cleanly
+}
+
+func TestOnExecSeesCategories(t *testing.T) {
+	cpu, _ := load(t, `
+	call f
+	nop
+	mov 1, %g1
+	ta 0
+f:	retl
+	nop
+`, 0x10000)
+	var cats []machine.Category
+	cpu.OnExec = func(pc uint32, inst *machine.Inst) {
+		cats = append(cats, inst.Category())
+	}
+	run(t, cpu)
+	// call, nop, retl, nop, mov, ta
+	want := []machine.Category{
+		machine.CatCallDirect, machine.CatCompute, machine.CatReturn,
+		machine.CatCompute, machine.CatCompute, machine.CatSystem,
+	}
+	if len(cats) != len(want) {
+		t.Fatalf("saw %d instructions: %v", len(cats), cats)
+	}
+	for i, w := range want {
+		if cats[i] != w {
+			t.Errorf("inst %d: %s, want %s", i, cats[i], w)
+		}
+	}
+}

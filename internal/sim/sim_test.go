@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"eel/internal/asm"
+	"eel/internal/machine"
+	"eel/internal/sparc"
+)
+
+// load assembles src at base, loads it, and returns a ready CPU.
+func load(t *testing.T, src string, base uint32) (*CPU, *asm.Program) {
+	t.Helper()
+	prog, err := asm.Assemble(src, base)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := NewMemory()
+	mem.LoadSegment(prog.Base, prog.Bytes)
+	cpu := New(sparc.NewDecoder(), mem)
+	cpu.Reset(prog.Base, 0x7ff000)
+	return cpu, prog
+}
+
+func run(t *testing.T, cpu *CPU) {
+	t.Helper()
+	if err := cpu.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !cpu.Halted {
+		t.Fatal("program did not halt")
+	}
+}
+
+const exitSeq = `
+	mov 1, %g1
+	ta 0
+`
+
+func TestArithmetic(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 6, %l0
+	mov 7, %l1
+	smul %l0, %l1, %o0
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", cpu.ExitCode)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	// Sum 1..10 with a countdown loop and delay-slot decrement.
+	cpu, _ := load(t, `
+	mov 10, %l0
+	clr %o0
+loop:	add %o0, %l0, %o0
+	subcc %l0, 1, %l0
+	bne loop
+	nop
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 55 {
+		t.Errorf("exit = %d, want 55", cpu.ExitCode)
+	}
+}
+
+func TestDelaySlotExecutesBeforeTransfer(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 1, %o0
+	ba done
+	mov 2, %o0       ! delay slot: executes, o0 = 2
+	mov 3, %o0       ! skipped
+done:	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 2 {
+		t.Errorf("exit = %d, want 2 (delay slot must execute)", cpu.ExitCode)
+	}
+}
+
+func TestAnnulledBranchTaken(t *testing.T) {
+	// bne,a taken: delay slot executes.
+	cpu, _ := load(t, `
+	clr %o0
+	cmp %g0, 1
+	bne,a done
+	add %o0, 5, %o0   ! executes (branch taken)
+	add %o0, 100, %o0 ! skipped
+done:	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 5 {
+		t.Errorf("exit = %d, want 5", cpu.ExitCode)
+	}
+}
+
+func TestAnnulledBranchUntaken(t *testing.T) {
+	// be,a untaken: delay slot annulled.
+	cpu, _ := load(t, `
+	clr %o0
+	cmp %g0, 1
+	be,a away
+	add %o0, 5, %o0   ! annulled (branch untaken)
+	add %o0, 1, %o0
+	mov 1, %g1
+	ta 0
+away:	mov 99, %o0
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 1 {
+		t.Errorf("exit = %d, want 1 (slot must be annulled)", cpu.ExitCode)
+	}
+	if cpu.AnnulCount != 1 {
+		t.Errorf("annul count = %d, want 1", cpu.AnnulCount)
+	}
+}
+
+func TestBaAnnulAlwaysSkipsSlot(t *testing.T) {
+	cpu, _ := load(t, `
+	clr %o0
+	ba,a done
+	add %o0, 50, %o0  ! always annulled on ba,a
+done:	mov 1, %g1
+	ta 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 0 {
+		t.Errorf("exit = %d, want 0 (ba,a must annul)", cpu.ExitCode)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	cpu, _ := load(t, `
+	call double
+	mov 21, %o0      ! delay slot sets the argument
+	mov 1, %g1
+	ta 0
+double:	retl
+	add %o0, %o0, %o0 ! delay slot computes the result
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", cpu.ExitCode)
+	}
+}
+
+func TestRegisterWindows(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 7, %o0
+	call f
+	nop
+	mov 1, %g1       ! result back in %o0
+	ta 0
+f:	save %sp, -96, %sp
+	add %i0, 1, %i0  ! callee sees arg as %i0
+	mov 55, %l3      ! clobber a local in the new window
+	ret
+	restore %i0, 0, %o0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 8 {
+		t.Errorf("exit = %d, want 8", cpu.ExitCode)
+	}
+}
+
+func TestWindowsPreserveCallerLocals(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 11, %l3
+	call f
+	nop
+	mov %l3, %o0     ! caller local survives the callee
+	mov 1, %g1
+	ta 0
+f:	save %sp, -96, %sp
+	mov 999, %l3
+	ret
+	restore
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 11 {
+		t.Errorf("exit = %d, want 11 (caller %%l3 clobbered)", cpu.ExitCode)
+	}
+}
+
+func TestMemory(t *testing.T) {
+	cpu, _ := load(t, `
+	set buf, %l0
+	mov 0x12, %l1
+	st %l1, [%l0]
+	ldub [%l0+3], %o0  ! big-endian: low byte is at offset 3
+	mov 1, %g1
+	ta 0
+	.align 4
+buf:	.word 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 0x12 {
+		t.Errorf("exit = %#x, want 0x12", cpu.ExitCode)
+	}
+}
+
+func TestSignedLoads(t *testing.T) {
+	cpu, _ := load(t, `
+	set buf, %l0
+	ldsb [%l0], %o0
+	sub %g0, %o0, %o0   ! negate: 0x80 sign-extends to -128
+	mov 1, %g1
+	ta 0
+	.align 4
+buf:	.byte 0x80
+	.byte 0, 0, 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 128 {
+		t.Errorf("exit = %d, want 128", cpu.ExitCode)
+	}
+}
+
+func TestWriteSyscall(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 4, %g1
+	mov 1, %o0
+	set msg, %o1
+	mov 5, %o2
+	ta 0
+	mov 1, %g1
+	clr %o0
+	ta 0
+	.align 4
+msg:	.ascii "hello"
+`, 0x10000)
+	var out bytes.Buffer
+	cpu.Stdout = &out
+	run(t, cpu)
+	if out.String() != "hello" {
+		t.Errorf("stdout = %q", out.String())
+	}
+}
+
+func TestDispatchTable(t *testing.T) {
+	// A gcc-style switch: bounds check, table load, indirect jump.
+	src := `
+	mov 2, %l0        ! case index
+	cmp %l0, 3
+	bgu default
+	sll %l0, 2, %l1
+	set table, %l2
+	ld [%l2+%l1], %l3
+	jmp %l3
+	nop
+case0:	mov 10, %o0
+	ba done
+	nop
+case1:	mov 20, %o0
+	ba done
+	nop
+case2:	mov 30, %o0
+	ba done
+	nop
+case3:	mov 40, %o0
+	ba done
+	nop
+default: mov 99, %o0
+done:	mov 1, %g1
+	ta 0
+	.align 4
+table:	.word case0
+	.word case1
+	.word case2
+	.word case3
+`
+	cpu, _ := load(t, src, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 30 {
+		t.Errorf("exit = %d, want 30", cpu.ExitCode)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	cpu, _ := load(t, `
+	set three, %l0
+	ldf [%l0], %f0
+	set four, %l0
+	ldf [%l0], %f1
+	fmuls %f0, %f1, %f2
+	fstoi %f2, %f3
+	set out, %l0
+	stf %f3, [%l0]
+	ld [%l0], %o0
+	mov 1, %g1
+	ta 0
+	.align 4
+three:	.word 0x40400000   ! 3.0f
+four:	.word 0x40800000   ! 4.0f
+out:	.word 0
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 12 {
+		t.Errorf("exit = %d, want 12", cpu.ExitCode)
+	}
+}
+
+func TestFloatBranch(t *testing.T) {
+	cpu, _ := load(t, `
+	set one, %l0
+	ldf [%l0], %f0
+	set two, %l0
+	ldf [%l0], %f1
+	fcmps %f0, %f1
+	fbl less
+	nop
+	mov 0, %o0
+	ba done
+	nop
+less:	mov 1, %o0
+done:	mov 1, %g1
+	ta 0
+	.align 4
+one:	.word 0x3f800000
+two:	.word 0x40000000
+`, 0x10000)
+	run(t, cpu)
+	if cpu.ExitCode != 1 {
+		t.Errorf("exit = %d, want 1 (1.0 < 2.0)", cpu.ExitCode)
+	}
+}
+
+func TestIllegalInstructionFaults(t *testing.T) {
+	mem := NewMemory()
+	mem.Write32(0x1000, 0) // UNIMP
+	cpu := New(sparc.NewDecoder(), mem)
+	cpu.Reset(0x1000, 0x7ff000)
+	if err := cpu.Step(); err == nil {
+		t.Fatal("illegal instruction did not fault")
+	}
+}
+
+func TestMisalignedLoadFaults(t *testing.T) {
+	cpu, _ := load(t, `
+	set buf, %l0
+	ld [%l0+1], %o0
+	.align 4
+buf:	.word 0
+`, 0x10000)
+	err := cpu.Run(100)
+	if err == nil {
+		t.Fatal("misaligned load did not fault")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	cpu, _ := load(t, `
+self:	ba self
+	nop
+`, 0x10000)
+	if err := cpu.Run(100); err == nil {
+		t.Fatal("infinite loop did not hit step limit")
+	}
+}
+
+func TestInstCountMatchesOnExec(t *testing.T) {
+	cpu, _ := load(t, `
+	mov 5, %l0
+loop:	subcc %l0, 1, %l0
+	bne loop
+	nop
+	mov 1, %g1
+	ta 0
+`, 0x10000)
+	var n uint64
+	cpu.OnExec = func(uint32, *machine.Inst) { n++ }
+	run(t, cpu)
+	if n != cpu.InstCount {
+		t.Errorf("OnExec saw %d instructions, InstCount = %d", n, cpu.InstCount)
+	}
+	// 1 mov + 5*(subcc+bne+nop) - the final nop after the untaken
+	// bne still executes + mov + ta: count exactly.
+	if cpu.InstCount != 1+5*3+2 {
+		t.Errorf("InstCount = %d, want %d", cpu.InstCount, 1+5*3+2)
+	}
+}

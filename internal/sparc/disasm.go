@@ -1,0 +1,96 @@
+package sparc
+
+import (
+	"fmt"
+
+	"eel/internal/machine"
+)
+
+// Disasm renders the instruction at pc in SPARC assembly syntax.
+// Invalid words render as ".word 0x...".
+func Disasm(inst *machine.Inst, pc uint32) string {
+	if !inst.Valid() {
+		return fmt.Sprintf(".word %#08x", inst.Word())
+	}
+	f := func(name string) uint32 { v, _ := inst.Field(name); return v }
+	rd := machine.Reg(f("rd"))
+	rs1 := machine.Reg(f("rs1"))
+	rs2 := machine.Reg(f("rs2"))
+	simm := int32(f("simm13")<<19) >> 19
+
+	op2str := func() string {
+		if f("iflag") == 1 {
+			return fmt.Sprintf("%d", simm)
+		}
+		return RegName(rs2)
+	}
+	addr := func() string {
+		if f("iflag") == 1 {
+			if simm == 0 {
+				return fmt.Sprintf("[%s]", RegName(rs1))
+			}
+			return fmt.Sprintf("[%s%+d]", RegName(rs1), simm)
+		}
+		return fmt.Sprintf("[%s+%s]", RegName(rs1), RegName(rs2))
+	}
+	annul := ""
+	if inst.AnnulBit() {
+		annul = ",a"
+	}
+
+	name := inst.Name()
+	switch inst.Category() {
+	case machine.CatBranch, machine.CatJumpDirect:
+		if t, ok := inst.StaticTarget(pc); ok {
+			if name == "jmpl" {
+				return fmt.Sprintf("jmp %#x", t)
+			}
+			return fmt.Sprintf("%s%s %#x", name, annul, t)
+		}
+	case machine.CatCallDirect:
+		if t, ok := inst.StaticTarget(pc); ok {
+			return fmt.Sprintf("call %#x", t)
+		}
+	case machine.CatCallIndirect:
+		return fmt.Sprintf("call %s", addr())
+	case machine.CatReturn:
+		if rs1 == RegO7 {
+			return "retl"
+		}
+		return "ret"
+	case machine.CatJumpIndirect:
+		return fmt.Sprintf("jmp %s", addr())
+	case machine.CatLoad, machine.CatStore, machine.CatLoadStore:
+		dataReg := RegName(rd)
+		if name == "ldf" || name == "stf" {
+			dataReg = fmt.Sprintf("%%f%d", rd)
+		}
+		if inst.Category() == machine.CatStore {
+			return fmt.Sprintf("%s %s, %s", name, dataReg, addr())
+		}
+		return fmt.Sprintf("%s %s, %s", name, addr(), dataReg)
+	case machine.CatSystem:
+		return fmt.Sprintf("ta %d", simm)
+	}
+
+	switch name {
+	case "sethi":
+		if inst.Word() == Nop() {
+			return "nop"
+		}
+		return fmt.Sprintf("sethi %%hi(%#x), %s", f("imm22")<<10, RegName(rd))
+	case "rdy":
+		return fmt.Sprintf("rd %%y, %s", RegName(rd))
+	case "wry":
+		return fmt.Sprintf("wr %s, %%y", RegName(rs1))
+	case "save", "restore":
+		return fmt.Sprintf("%s %s, %s, %s", name, RegName(rs1), op2str(), RegName(rd))
+	case "fmovs", "fnegs", "fabss", "fitos", "fstoi":
+		return fmt.Sprintf("%s %%f%d, %%f%d", name, rs2, rd)
+	case "fcmps":
+		return fmt.Sprintf("fcmps %%f%d, %%f%d", rs1, rs2)
+	case "fadds", "fsubs", "fmuls", "fdivs":
+		return fmt.Sprintf("%s %%f%d, %%f%d, %%f%d", name, rs1, rs2, rd)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", name, RegName(rs1), op2str(), RegName(rd))
+}

@@ -1,0 +1,159 @@
+package spawn
+
+import (
+	"sort"
+	"sync"
+
+	"eel/internal/machine"
+)
+
+// Glue is the hand-written, machine-specific refinement hook (the Go
+// equivalent of the paper's Fig 6 annotated code): spawn derives a
+// coarse category and effects from the description, and the glue
+// resolves convention-level overloads — on SPARC, the three uses of
+// jmpl (indirect call, return, indirect jump) and the system-call
+// idiom.  The glue may rewrite any part of the spec except Word.
+type Glue func(d *Desc, def *InstDef, spec *machine.InstSpec)
+
+// TableDecoder is a machine.Decoder generated from a description.
+// It interns instructions by machine word, reproducing the paper's
+// §3.4 optimization ("EEL allocates only one instruction to
+// represent all instances of a particular machine instruction",
+// reducing allocations roughly fourfold); SharingStats exposes the
+// measured ratio for experiment E6.
+type TableDecoder struct {
+	desc    *Desc
+	glue    Glue
+	regName func(machine.Reg) string
+
+	mu      sync.Mutex
+	cache   map[uint32]*machine.Inst
+	decodes uint64
+
+	// interning can be disabled for the E6 ablation.
+	intern bool
+}
+
+// NewDecoder builds a decoder for desc.  glue and regName may be nil.
+func NewDecoder(desc *Desc, glue Glue, regName func(machine.Reg) string) *TableDecoder {
+	return &TableDecoder{
+		desc:    desc,
+		glue:    glue,
+		regName: regName,
+		cache:   map[uint32]*machine.Inst{},
+		intern:  true,
+	}
+}
+
+// SetIntern toggles instruction-object sharing (ablation E6).
+func (t *TableDecoder) SetIntern(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.intern = on
+	if !on {
+		t.cache = map[uint32]*machine.Inst{}
+	}
+}
+
+// Name returns the description's machine name.
+func (t *TableDecoder) Name() string { return t.desc.MachineName }
+
+// WordSize returns the instruction width in bytes.
+func (t *TableDecoder) WordSize() int { return t.desc.WordBits / 8 }
+
+// Desc returns the underlying description.
+func (t *TableDecoder) Desc() *Desc { return t.desc }
+
+// RegName renders a register name.
+func (t *TableDecoder) RegName(r machine.Reg) string {
+	if t.regName != nil {
+		return t.regName(r)
+	}
+	return machine.RegSet{}.Add(r).String()
+}
+
+// Decode returns the (shared) instruction for word.
+func (t *TableDecoder) Decode(word uint32) *machine.Inst {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.decodes++
+	if t.intern {
+		if inst, ok := t.cache[word]; ok {
+			return inst
+		}
+	}
+	inst := machine.NewInst(t.specFor(word))
+	if t.intern {
+		t.cache[word] = inst
+	}
+	return inst
+}
+
+// SharingStats returns total decode requests and distinct
+// instruction objects allocated (experiment E6).
+func (t *TableDecoder) SharingStats() (decodes, unique uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.decodes, uint64(len(t.cache))
+}
+
+// ResetStats clears decode counters and the intern cache.
+func (t *TableDecoder) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.decodes = 0
+	t.cache = map[uint32]*machine.Inst{}
+}
+
+// specFor derives the full machine-independent spec for word.
+func (t *TableDecoder) specFor(word uint32) machine.InstSpec {
+	spec := machine.InstSpec{Word: word, Cat: machine.CatInvalid}
+	def := t.desc.DecodeRaw(word)
+	if def == nil {
+		return spec
+	}
+	fields := t.desc.FieldVals(word)
+	eff := t.desc.EffectsFor(def, fields)
+
+	_, direct := t.desc.StaticTarget(def, fields, 0x1000)
+	spec.Name = def.Name
+	spec.Cat = Categorize(eff, direct)
+	spec.Reads = eff.Reads
+	spec.Writes = eff.Writes
+	spec.ReadsMem = eff.ReadsMem
+	spec.WritesMem = eff.WritesMem
+	spec.MemWidth = eff.MemWidth()
+	spec.DelaySlots = 0
+	if eff.WritesPC && eff.LatePC {
+		spec.DelaySlots = 1
+	}
+	spec.AnnulBit = eff.Annul
+	spec.Conditional = eff.CondPC
+	if direct {
+		d, f := t.desc, fields
+		spec.Target = func(pc uint32) (uint32, bool) { return d.StaticTarget(def, f, pc) }
+	}
+	spec.Fields = fieldSlice(fields)
+	spec.Sem = &InstSem{Def: def, Desc: t.desc}
+	if t.glue != nil {
+		t.glue(t.desc, def, &spec)
+	}
+	return spec
+}
+
+// InstSem is the semantics handle attached to decoded instructions;
+// the emulator executes Def.Sem against the description's register
+// model.
+type InstSem struct {
+	Def  *InstDef
+	Desc *Desc
+}
+
+func fieldSlice(fields map[string]uint32) []machine.Field {
+	out := make([]machine.Field, 0, len(fields))
+	for k, v := range fields {
+		out = append(out, machine.Field{Name: k, Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

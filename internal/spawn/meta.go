@@ -1,0 +1,195 @@
+package spawn
+
+import (
+	"fmt"
+
+	"eel/internal/rtl"
+)
+
+// metaEval reduces a description-level expression to a ground
+// semantic AST: val-bindings inline, lambdas beta-reduce,
+// applications of lambdas substitute, "@" expands elementwise over
+// vectors, the trivial condition tests 'a and 'n fold to constants,
+// and guards with constant conditions fold to the live arm.  What
+// remains is an AST the rtl evaluator and spawn's analyses consume
+// directly.
+func (d *Desc) metaEval(n rtl.Node, depth int) (rtl.Node, error) {
+	if depth > 64 {
+		return nil, fmt.Errorf("spawn: description recursion too deep (cyclic val?)")
+	}
+	switch x := n.(type) {
+	case nil:
+		return nil, nil
+	case rtl.Num, rtl.Sym:
+		return x, nil
+	case rtl.Ident:
+		// Inline val-bindings; leave fields, registers, builtins,
+		// temporaries, and lambda-bound names alone.
+		if body, ok := d.vals[x.Name]; ok {
+			return d.metaEval(body, depth+1)
+		}
+		return x, nil
+	case rtl.Lambda:
+		// Do not reduce under the binder: the parameter must not be
+		// confused with a val of the same name.  Reduction happens
+		// at application time on the substituted body.
+		return x, nil
+	case rtl.Apply:
+		fn, err := d.metaEval(x.Fn, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := d.metaEval(x.Arg, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if lam, ok := fn.(rtl.Lambda); ok {
+			return d.metaEval(rtl.Subst(lam.Body, lam.Param, arg), depth+1)
+		}
+		// Application of a vector of functions to an argument
+		// distributes: [f g] x == [f x, g x].
+		if vec, ok := fn.(rtl.Vector); ok {
+			elems := make([]rtl.Node, len(vec.Elems))
+			for i, e := range vec.Elems {
+				r, err := d.metaEval(rtl.Apply{Fn: e, Arg: arg}, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				elems[i] = r
+			}
+			return rtl.Vector{Elems: elems}, nil
+		}
+		// Fold trivial condition tests so that branch-always and
+		// branch-never instructions classify correctly.
+		if sym, ok := fn.(rtl.Sym); ok {
+			switch sym.Name {
+			case "a", "fa":
+				return rtl.Num{Val: 1}, nil
+			case "n", "fn":
+				return rtl.Num{Val: 0}, nil
+			}
+		}
+		return rtl.Apply{Fn: fn, Arg: arg}, nil
+	case rtl.MapApply:
+		fn, err := d.metaEval(x.Fn, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		vecN, err := d.metaEval(x.Vec, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		vec, ok := vecN.(rtl.Vector)
+		if !ok {
+			return nil, fmt.Errorf("spawn: @ wants a vector, got %s", vecN)
+		}
+		elems := make([]rtl.Node, len(vec.Elems))
+		for i, e := range vec.Elems {
+			r, err := d.metaEval(rtl.Apply{Fn: fn, Arg: e}, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = r
+		}
+		return rtl.Vector{Elems: elems}, nil
+	case rtl.Vector:
+		elems := make([]rtl.Node, len(x.Elems))
+		for i, e := range x.Elems {
+			r, err := d.metaEval(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = r
+		}
+		return rtl.Vector{Elems: elems}, nil
+	case rtl.Bin:
+		l, err := d.metaEval(x.L, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.metaEval(x.R, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return rtl.Bin{Op: x.Op, L: l, R: r}, nil
+	case rtl.Un:
+		e, err := d.metaEval(x.X, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return rtl.Un{Op: x.Op, X: e}, nil
+	case rtl.Cond:
+		c, err := d.metaEval(x.C, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.metaEval(x.T, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		var f rtl.Node
+		if x.F != nil {
+			f, err = d.metaEval(x.F, depth+1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Constant guard (after 'a/'n folding) selects its arm; the
+		// guard may be parenthesized, i.e. Seq-wrapped.
+		if num, ok := rtl.UnwrapSeq(c).(rtl.Num); ok {
+			if num.Val != 0 {
+				return t, nil
+			}
+			if f == nil {
+				return rtl.Seq{}, nil // empty statement
+			}
+			return f, nil
+		}
+		return rtl.Cond{C: c, T: t, F: f}, nil
+	case rtl.Assign:
+		lhs, err := d.metaEval(x.LHS, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := d.metaEval(x.RHS, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return rtl.Assign{LHS: lhs, RHS: rhs}, nil
+	case rtl.Index:
+		base, err := d.metaEval(x.Base, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		elem, err := d.metaEval(x.Elem, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		var w rtl.Node
+		if x.Width != nil {
+			w, err = d.metaEval(x.Width, depth+1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return rtl.Index{Base: base, Elem: elem, Width: w}, nil
+	case rtl.Seq:
+		steps := make([][]rtl.Node, len(x.Steps))
+		for i, step := range x.Steps {
+			for _, op := range step {
+				r, err := d.metaEval(op, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				// Drop empty statements produced by guard folding.
+				if s, ok := r.(rtl.Seq); ok && len(s.Steps) == 0 {
+					continue
+				}
+				steps[i] = append(steps[i], r)
+			}
+		}
+		return rtl.Seq{Steps: steps}, nil
+	default:
+		return nil, fmt.Errorf("spawn: cannot meta-evaluate %s", n)
+	}
+}

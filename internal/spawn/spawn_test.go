@@ -1,0 +1,297 @@
+package spawn
+
+import (
+	"strings"
+	"testing"
+
+	"eel/internal/machine"
+	"eel/internal/rtl"
+)
+
+// toyDesc is a minimal machine exercising the description features:
+// matrix patterns with holes, val lambdas, @ expansion, a zero
+// register, memory, delayed control transfer, and a trap.
+const toyDesc = `
+machine toy
+
+instruction{32} fields
+  op 28:31, rd 24:27, rs1 20:23, rs2 16:19, imm16 0:15, cflag 15:15
+
+register integer{32} R[17]
+alias integer{32} CC is R[16]
+register integer{32} pc
+zero is R[0]
+
+pat [ add sub _ ld st ] is op=[0..4]
+pat jmp is op=5
+pat br is op=6
+pat call is op=7
+pat halt is op=8
+
+val simm is sex(imm16)
+val binop is \f.(R[rd] := f R[rs1] R[rs2])
+
+sem add is R[rd] := R[rs1] + R[rs2], CC := cc_add(R[rs1], R[rs2])
+sem sub is R[rd] := R[rs1] - R[rs2]
+sem ld is R[rd] := M[R[rs1] + simm]{4}
+sem st is M[R[rs1] + simm]{4} := R[rd]
+sem jmp is t := R[rs1] ; pc := t
+sem br is t := pc + simm ; ('ne CC) ? pc := t
+sem call is t := pc + simm, R[15] := pc ; pc := t
+sem halt is trap(imm16)
+`
+
+func toy(t *testing.T) *Desc {
+	t.Helper()
+	d, err := ParseDesc(toyDesc)
+	if err != nil {
+		t.Fatalf("ParseDesc: %v", err)
+	}
+	return d
+}
+
+// word builds a toy instruction.
+func word(d *Desc, fields map[string]uint32) uint32 {
+	var w uint32
+	for name, v := range fields {
+		f, _ := d.Field(name)
+		w = f.Insert(w, v)
+	}
+	return w
+}
+
+func TestFieldExtractInsert(t *testing.T) {
+	d := toy(t)
+	f, ok := d.Field("rd")
+	if !ok || f.Width() != 4 {
+		t.Fatalf("rd = %+v", f)
+	}
+	w := f.Insert(0, 0xA)
+	if f.Extract(w) != 0xA {
+		t.Errorf("roundtrip failed: %#x", w)
+	}
+	if f.Insert(w, 0x5) != f.Insert(0, 0x5) {
+		t.Errorf("Insert did not clear old bits")
+	}
+}
+
+func TestMatrixExpansionWithHoles(t *testing.T) {
+	d := toy(t)
+	if _, ok := d.Lookup("add"); !ok {
+		t.Error("add missing")
+	}
+	if _, ok := d.Lookup("st"); !ok {
+		t.Error("st missing")
+	}
+	// op=2 is a hole: must not decode.
+	if def := d.DecodeRaw(word(d, map[string]uint32{"op": 2})); def != nil {
+		t.Errorf("hole decoded as %s", def.Name)
+	}
+	// op values assigned in order.
+	if def, _ := d.Lookup("sub"); def.Fixed["op"] != 1 {
+		t.Errorf("sub op = %d", def.Fixed["op"])
+	}
+	if def, _ := d.Lookup("st"); def.Fixed["op"] != 4 {
+		t.Errorf("st op = %d", def.Fixed["op"])
+	}
+}
+
+func TestClassification(t *testing.T) {
+	d := toy(t)
+	cases := map[string]machine.Category{
+		"add":  machine.CatCompute,
+		"ld":   machine.CatLoad,
+		"st":   machine.CatStore,
+		"br":   machine.CatBranch,
+		"call": machine.CatCallDirect,
+		"halt": machine.CatSystem,
+	}
+	for name, want := range cases {
+		def, _ := d.Lookup(name)
+		if def.Info.Cat != want {
+			t.Errorf("%s: %s, want %s", name, def.Info.Cat, want)
+		}
+	}
+	// jmp's category is per-word: through a real register it is
+	// indirect; through the zero register it is a (direct) literal
+	// jump.  (Definition-level info uses zeroed fields, so it reads
+	// as direct there.)
+	dec := NewDecoder(d, nil, nil)
+	if c := dec.Decode(word(d, map[string]uint32{"op": 5, "rs1": 2})).Category(); c != machine.CatJumpIndirect {
+		t.Errorf("jmp r2: %s", c)
+	}
+	if c := dec.Decode(word(d, map[string]uint32{"op": 5, "rs1": 0})).Category(); c != machine.CatJumpDirect {
+		t.Errorf("jmp r0: %s", c)
+	}
+}
+
+func TestEffectsReadsWrites(t *testing.T) {
+	d := toy(t)
+	def, _ := d.Lookup("add")
+	eff := d.EffectsFor(def, d.FieldVals(word(d, map[string]uint32{"op": 0, "rd": 3, "rs1": 1, "rs2": 2})))
+	if !eff.Reads.Equal(machine.NewRegSet(1, 2)) {
+		t.Errorf("reads = %s", eff.Reads)
+	}
+	// writes rd and CC (R[16]).
+	if !eff.Writes.Has(3) || !eff.Writes.Has(16) {
+		t.Errorf("writes = %s", eff.Writes)
+	}
+}
+
+func TestZeroRegSuppressed(t *testing.T) {
+	d := toy(t)
+	def, _ := d.Lookup("add")
+	eff := d.EffectsFor(def, d.FieldVals(word(d, map[string]uint32{"op": 0, "rd": 0, "rs1": 0, "rs2": 2})))
+	if eff.Reads.Has(0) || eff.Writes.Has(0) {
+		t.Errorf("zero register leaked: r=%s w=%s", eff.Reads, eff.Writes)
+	}
+}
+
+func TestDelaySlotDerivation(t *testing.T) {
+	d := toy(t)
+	for _, name := range []string{"jmp", "br", "call"} {
+		def, _ := d.Lookup(name)
+		if def.Info.DelaySlots != 1 {
+			t.Errorf("%s delay slots = %d", name, def.Info.DelaySlots)
+		}
+	}
+	def, _ := d.Lookup("add")
+	if def.Info.DelaySlots != 0 {
+		t.Errorf("add delay slots = %d", def.Info.DelaySlots)
+	}
+}
+
+func TestStaticTargetPCRelative(t *testing.T) {
+	d := toy(t)
+	def, _ := d.Lookup("br")
+	fields := d.FieldVals(word(d, map[string]uint32{"op": 6, "imm16": 0x20}))
+	tgt, ok := d.StaticTarget(def, fields, 0x1000)
+	if !ok || tgt != 0x1020 {
+		t.Errorf("target = %#x ok=%v", tgt, ok)
+	}
+	// Negative displacement through sign extension.
+	fields2 := d.FieldVals(word(d, map[string]uint32{"op": 6, "imm16": 0xfffc}))
+	tgt2, ok := d.StaticTarget(def, fields2, 0x1000)
+	if !ok || tgt2 != 0x0ffc {
+		t.Errorf("target = %#x ok=%v", tgt2, ok)
+	}
+	// The register jump has no static target.
+	jdef, _ := d.Lookup("jmp")
+	if _, ok := d.StaticTarget(jdef, d.FieldVals(word(d, map[string]uint32{"op": 5, "rs1": 2})), 0); ok {
+		t.Error("register jump has a static target")
+	}
+	// Jump through the zero register IS static (literal 0 + nothing).
+	if tgt, ok := d.StaticTarget(jdef, d.FieldVals(word(d, map[string]uint32{"op": 5, "rs1": 0})), 0); !ok || tgt != 0 {
+		t.Errorf("zero-reg jump: %#x ok=%v", tgt, ok)
+	}
+}
+
+func TestLinkDetection(t *testing.T) {
+	d := toy(t)
+	def, _ := d.Lookup("call")
+	eff := d.EffectsFor(def, d.fixedAsFull(def))
+	if !eff.HasLink || eff.Link != 15 {
+		t.Errorf("link = %v/%d", eff.HasLink, eff.Link)
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	d := toy(t)
+	def, _ := d.Lookup("ld")
+	eff := d.EffectsFor(def, d.fixedAsFull(def))
+	if !eff.ReadsMem || eff.MemWidth() != 4 {
+		t.Errorf("ld: readsMem=%v width=%d", eff.ReadsMem, eff.MemWidth())
+	}
+	sdef, _ := d.Lookup("st")
+	seff := d.EffectsFor(sdef, d.fixedAsFull(sdef))
+	if !seff.WritesMem || seff.ReadsMem {
+		t.Errorf("st: %+v", seff)
+	}
+}
+
+func TestDescErrors(t *testing.T) {
+	bad := []struct {
+		name, src string
+	}{
+		{"no sem", "machine x\ninstruction{32} fields\n  op 28:31\nregister integer{32} R[4]\npat foo is op=1\n"},
+		{"dup field", "machine x\ninstruction{32} fields\n  op 28:31, op 0:3\n"},
+		{"field out of range", "machine x\ninstruction{32} fields\n  op 30:33\n"},
+		{"name count mismatch", "machine x\ninstruction{32} fields\n  op 28:31\npat [a b] is op=[0..2]\nsem a is trap(0)\n"},
+		{"unknown field in pat", "machine x\ninstruction{32} fields\n  op 28:31\npat a is bogus=1\nsem a is trap(0)\n"},
+		{"sem for unknown inst", "machine x\ninstruction{32} fields\n  op 28:31\nsem nothing is trap(0)\n"},
+		{"duplicate inst", "machine x\ninstruction{32} fields\n  op 28:31\npat a is op=1\npat a is op=2\n"},
+		{"alias of unknown file", "machine x\ninstruction{32} fields\n  op 28:31\nalias integer{32} Q is Z[1]\n"},
+	}
+	for _, c := range bad {
+		if _, err := ParseDesc(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDecoderInterning(t *testing.T) {
+	d := toy(t)
+	dec := NewDecoder(d, nil, nil)
+	w := word(d, map[string]uint32{"op": 0, "rd": 1})
+	a := dec.Decode(w)
+	if a != dec.Decode(w) {
+		t.Error("interning broken")
+	}
+	dec.SetIntern(false)
+	if dec.Decode(w) == dec.Decode(w) {
+		t.Error("uninterned decode returned shared object")
+	}
+}
+
+func TestGlueHookRuns(t *testing.T) {
+	d := toy(t)
+	called := false
+	glue := func(d *Desc, def *InstDef, spec *machine.InstSpec) {
+		called = true
+		if def.Name == "jmp" {
+			spec.Cat = machine.CatReturn
+		}
+	}
+	dec := NewDecoder(d, glue, nil)
+	inst := dec.Decode(word(d, map[string]uint32{"op": 5, "rs1": 3}))
+	if !called {
+		t.Fatal("glue not invoked")
+	}
+	if inst.Category() != machine.CatReturn {
+		t.Errorf("glue category override lost: %s", inst.Category())
+	}
+}
+
+func TestMetaEvalFoldsConstantGuards(t *testing.T) {
+	d := toy(t)
+	// 'a folds to 1, selecting the then-arm.
+	n, err := d.metaEval(mustParse(t, "('a CC) ? x := 1 : x := 2"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "1") || strings.Contains(n.String(), "2") {
+		t.Errorf("fold result: %s", n)
+	}
+}
+
+func TestGenerateGo(t *testing.T) {
+	out := GenerateGo(toy(t))
+	if !strings.Contains(out, "package toytab") {
+		t.Error("missing package clause")
+	}
+	if !strings.Contains(out, `"halt"`) || !strings.Contains(out, `"call"`) {
+		t.Error("missing instructions")
+	}
+	if strings.Count(out, "\n") < 50 {
+		t.Error("suspiciously small generated file")
+	}
+}
+
+func mustParse(t *testing.T, src string) rtl.Node {
+	t.Helper()
+	n, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+package toolmain_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eel/internal/binfile"
+	"eel/internal/progen"
+	"eel/internal/qpt"
+	"eel/internal/toolmain"
+)
+
+func TestRunGeneratesInstrumentsAndExecutes(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.count")
+	// Suppress the tool's stdout chatter.
+	old := os.Stdout
+	devnull, _ := os.Open(os.DevNull)
+	os.Stdout = devnull
+	err := toolmain.Run("qpt2", qpt.Full, []string{"-gen", "5", "-run", "-o", out})
+	os.Stdout = old
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	f, err := binfile.ReadFile(out)
+	if err != nil {
+		t.Fatalf("output unreadable: %v", err)
+	}
+	if f.Section("eeldata") == nil {
+		t.Error("instrumented output lacks the counter section")
+	}
+}
+
+func TestRunOnFileInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "prog")
+	p := progen.MustGenerate(progen.DefaultConfig(6))
+	if err := binfile.WriteFile(in, p.File); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	devnull, _ := os.Open(os.DevNull)
+	os.Stdout = devnull
+	err := toolmain.Run("qpt", qpt.Light, []string{in})
+	os.Stdout = old
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(in + ".count"); err != nil {
+		t.Error("default output path not written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := toolmain.Run("qpt2", qpt.Full, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := toolmain.Run("qpt2", qpt.Full, []string{"/nonexistent/file"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
