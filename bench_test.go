@@ -6,6 +6,8 @@ package eel_test
 // numbers: slowdown ratios, size ratios, analysis rates.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -354,6 +356,78 @@ func BenchmarkDelaySlotFolding(b *testing.B) {
 				textBytes = float64(len(edited.Text().Data))
 			}
 			b.ReportMetric(textBytes, "text-bytes")
+		})
+	}
+}
+
+// BenchmarkPipelineParallel is the pipeline scaling experiment: full
+// whole-executable analysis (CFG + liveness + dominators + loops) at
+// 1, 2, 4, and GOMAXPROCS workers.  The routines/s metric is the
+// pipeline's throughput; speedup only appears when the host grants
+// more than one CPU.
+func BenchmarkPipelineParallel(b *testing.B) {
+	workers := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var routines float64
+			for i := 0; i < b.N; i++ {
+				e, err := eel.Load(benchProgram.File)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eel.AnalyzeAll(e, eel.AnalysisOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				routines = float64(res.Stats.Routines)
+			}
+			b.ReportMetric(routines, "routines")
+			b.ReportMetric(routines*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+		})
+	}
+}
+
+// BenchmarkPipelineCache measures the memoizing analysis cache: cold
+// is a first analysis into an empty cache, warm re-analyzes a fresh
+// executable with every routine served from cache.
+func BenchmarkPipelineCache(b *testing.B) {
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cache *eel.AnalysisCache
+			if warm {
+				cache = eel.NewAnalysisCache(0)
+				e, err := eel.Load(benchProgram.File)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eel.AnalyzeAll(e, eel.AnalysisOptions{Cache: cache}); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+			}
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				if !warm {
+					cache = eel.NewAnalysisCache(0)
+				}
+				e, err := eel.Load(benchProgram.File)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eel.AnalyzeAll(e, eel.AnalysisOptions{Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hitRate = res.Stats.CacheHitRate()
+			}
+			b.ReportMetric(100*hitRate, "hit-%")
 		})
 	}
 }

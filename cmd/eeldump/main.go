@@ -2,10 +2,12 @@
 // container's sections and raw symbols, the refined routine list
 // (hidden routines, multiple entry points), per-routine CFG structure
 // and statistics, a disassembly, and indirect-jump resolutions.
+// Routines are analyzed concurrently by the internal/pipeline worker
+// pool (-j bounds the pool); output is identical for any -j.
 //
 // Usage:
 //
-//	eeldump [-routine name] [-dis] [-cfg] [-gen seed] [input]
+//	eeldump [-routine name] [-dis] [-cfg] [-gen seed] [-j N] [-stats] [input]
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"eel/internal/binfile"
 	"eel/internal/cfg"
 	"eel/internal/core"
+	"eel/internal/pipeline"
 	"eel/internal/progen"
 	"eel/internal/sparc"
 )
@@ -30,6 +33,8 @@ func main() {
 	showCFG := flag.Bool("cfg", false, "print CFG structure")
 	dot := flag.Bool("dot", false, "emit CFGs as Graphviz dot")
 	gen := flag.Int64("gen", -1, "generate a synthetic input with this seed")
+	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print pipeline statistics")
 	flag.Parse()
 
 	var f *binfile.File
@@ -64,17 +69,28 @@ func main() {
 		fatal(err)
 	}
 
+	res, err := pipeline.AnalyzeAll(e, pipeline.Options{
+		Workers:      *jobs,
+		NoLiveness:   true,
+		NoDominators: true,
+		NoLoops:      true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	var agg cfg.Stats
 	indirect, unresolved := 0, 0
-	for _, r := range e.Routines() {
+	for _, a := range res.Analyses {
+		r := a.Routine
 		if *routine != "" && r.Name != *routine {
 			continue
 		}
-		g, err := r.ControlFlowGraph()
-		if err != nil {
-			fmt.Printf("routine %-16s %#08x..%#08x  CFG error: %v\n", r.Name, r.Start, r.End, err)
+		if a.Err != nil {
+			fmt.Printf("routine %-16s %#08x..%#08x  CFG error: %v\n", r.Name, r.Start, r.End, a.Err)
 			continue
 		}
+		g := a.Graph
 		s := g.Stats()
 		agg.Blocks += s.Blocks
 		agg.NormalBlocks += s.NormalBlocks
@@ -129,6 +145,9 @@ func main() {
 			100*float64(agg.UneditableE)/float64(agg.Edges))
 	}
 	fmt.Printf("indirect jumps: %d (%d unresolved)\n", indirect, unresolved)
+	if *stats {
+		fmt.Println(res.Stats)
+	}
 }
 
 // printDot renders one routine's CFG in Graphviz syntax: normal

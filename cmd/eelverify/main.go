@@ -10,6 +10,10 @@
 //
 //	eelverify original edited
 //	eelverify -gen 7 -instrument     (generate, instrument, verify)
+//
+// With -instrument, routine analysis runs on the concurrent
+// internal/pipeline worker pool (-j bounds it; -stats prints its
+// metrics) before the editing pass.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"eel/internal/binfile"
 	"eel/internal/core"
+	"eel/internal/pipeline"
 	"eel/internal/progen"
 	"eel/internal/qpt"
 	"eel/internal/sim"
@@ -32,6 +37,8 @@ func main() {
 	gen := flag.Int64("gen", -1, "generate a program with this seed instead of reading files")
 	instrument := flag.Bool("instrument", false, "with -gen: instrument before verifying")
 	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
+	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print analysis pipeline statistics")
 	flag.Parse()
 
 	var orig, edited *binfile.File
@@ -44,6 +51,15 @@ func main() {
 			e, err := core.NewExecutable(p.File)
 			check(err)
 			check(e.ReadContents())
+			pres, err := pipeline.AnalyzeAll(e, pipeline.Options{
+				Workers:      *jobs,
+				NoDominators: true,
+				NoLoops:      true,
+			})
+			check(err)
+			if *stats {
+				fmt.Println(pres.Stats)
+			}
 			_, err = qpt.Instrument(e, qpt.Full)
 			check(err)
 			edited, err = e.BuildEdited()

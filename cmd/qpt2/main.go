@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	qpt2 [-o out] [-run] [-gen seed] [input]
+//	qpt2 [-o out] [-run] [-gen seed] [-j N] [-stats] [input]
 //
 // With -gen N, a synthetic program is generated (seed N) instead of
 // reading input.  With -run, the instrumented program executes on the
 // bundled SPARC emulator and the hottest edges print afterward.
+// Routine analysis runs on the concurrent pipeline (-j bounds the
+// worker pool; -stats prints its throughput and stage times).
 package main
 
 import (

@@ -52,6 +52,7 @@ import (
 	"eel/internal/core"
 	"eel/internal/dataflow"
 	"eel/internal/machine"
+	"eel/internal/pipeline"
 )
 
 // Core abstractions (paper §3).
@@ -103,6 +104,20 @@ type (
 	Section = binfile.Section
 	// Symbol is one symbol-table entry.
 	Symbol = binfile.Symbol
+
+	// AnalysisOptions configures AnalyzeAll (zero value: GOMAXPROCS
+	// workers, every analysis stage, no cache).
+	AnalysisOptions = pipeline.Options
+	// AnalysisResult is a whole-executable analysis with stats.
+	AnalysisResult = pipeline.Result
+	// RoutineAnalysis is one routine's analysis bundle.
+	RoutineAnalysis = pipeline.RoutineAnalysis
+	// AnalysisStats reports pipeline timing, throughput, and cache
+	// behaviour.
+	AnalysisStats = pipeline.Stats
+	// AnalysisCache memoizes routine analyses across runs,
+	// content-addressed by the routine's machine words.
+	AnalysisCache = pipeline.Cache
 )
 
 // Block kinds.
@@ -178,6 +193,21 @@ func WriteImageFile(path string, f *File) error { return binfile.WriteFile(path,
 func NewSnippet(body []uint32, alloc []Reg) *Snippet {
 	return core.NewSnippet(body, alloc)
 }
+
+// AnalyzeAll analyzes every routine of exec concurrently — CFG
+// construction with indirect-jump slicing, liveness, dominators, and
+// natural loops — using a bounded worker pool, and returns one bundle
+// per routine in routine order.  Results are identical to a
+// sequential walk for any worker count; hidden routines discovered
+// during analysis are included.  See pipeline.Options for worker
+// count, stage selection, and memoization.
+func AnalyzeAll(exec *Executable, opts AnalysisOptions) (*AnalysisResult, error) {
+	return pipeline.AnalyzeAll(exec, opts)
+}
+
+// NewAnalysisCache builds a bounded analysis cache for
+// AnalysisOptions.Cache (capacity <= 0 selects the default).
+func NewAnalysisCache(capacity int) *AnalysisCache { return pipeline.NewCache(capacity) }
 
 // ComputeLiveness runs live-register analysis over g with the
 // standard exit convention.

@@ -35,6 +35,10 @@ func main() {
 
 	exec, err := eel.Load(p.File)
 	check(err)
+	// Analyze the whole program on the concurrent pipeline first;
+	// instrumentation below reuses every cached CFG and liveness.
+	ares, err := eel.AnalyzeAll(exec, eel.AnalysisOptions{})
+	check(err)
 	res, err := activemem.Instrument(exec, activemem.Config{LineBytes: *lineBytes, Sets: *sets})
 	check(err)
 	edited, err := exec.BuildEdited()
@@ -50,6 +54,8 @@ func main() {
 	accesses, misses := res.Counts(inst.Mem)
 	slowdown := float64(inst.InstCount) / float64(orig.InstCount)
 	fmt.Printf("workload: %d routines, %d memory sites instrumented\n", *routines, res.Sites)
+	fmt.Printf("analysis: %d routines at %.0f routines/s (%d workers)\n",
+		ares.Stats.Routines, ares.Stats.RoutinesPerSec(), ares.Stats.Workers)
 	fmt.Printf("cache: %d sets x %dB lines (%d KB direct-mapped)\n",
 		*sets, *lineBytes, *sets**lineBytes/1024)
 	fmt.Printf("original run:     %10d instructions\n", orig.InstCount)

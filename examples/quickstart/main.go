@@ -56,12 +56,18 @@ func main() {
 	exec, err := eel.Load(img)
 	check(err)
 
+	// AnalyzeAll builds every routine's CFG on the concurrent
+	// pipeline, including hidden routines discovered along the way —
+	// the paper's Figure 1 worklist loop, handled by the library.
+	res, err := eel.AnalyzeAll(exec, eel.AnalysisOptions{})
+	check(err)
+
 	num := 0
 	var counters []uint32
-	instrument := func(r *eel.Routine) {
-		g, err := r.ControlFlowGraph()
-		check(err)
-		for _, b := range g.Blocks {
+	for _, a := range res.Analyses {
+		check(a.Err)
+		r := a.Routine
+		for _, b := range a.Graph.Blocks {
 			if len(b.Succ) <= 1 {
 				continue
 			}
@@ -76,16 +82,6 @@ func main() {
 			}
 		}
 		check(r.ProduceEditedRoutine())
-	}
-	for _, r := range exec.Routines() {
-		instrument(r)
-	}
-	for {
-		r := exec.TakeHidden()
-		if r == nil {
-			break
-		}
-		instrument(r)
 	}
 
 	edited, err := exec.BuildEdited()

@@ -58,14 +58,17 @@ func main() {
 	fmt.Printf("unsandboxed: [0x7fe000] = %d (corrupted), exit %d\n",
 		orig.Mem.Read32(0x7fe000), orig.ExitCode)
 
-	// Sandbox every store.
+	// Sandbox every store.  The concurrent pipeline analyzes all
+	// routines (this tiny image has one; real programs fan out).
 	exec, err := eel.Load(img)
 	check(err)
+	res, err := eel.AnalyzeAll(exec, eel.AnalysisOptions{})
+	check(err)
 	sites := 0
-	for _, r := range exec.Routines() {
-		g, err := r.ControlFlowGraph()
-		check(err)
-		for _, b := range g.Blocks {
+	for _, a := range res.Analyses {
+		check(a.Err)
+		r := a.Routine
+		for _, b := range a.Graph.Blocks {
 			if b.Uneditable {
 				continue
 			}

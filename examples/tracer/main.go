@@ -38,10 +38,16 @@ func main() {
 	bufPtr := exec.AllocData(4)
 	buf := exec.AllocData(4 * bufWords)
 
+	// Whole-program analysis on the concurrent pipeline; hidden
+	// routines discovered during CFG construction are analyzed too,
+	// replacing the manual TakeHidden worklist.
+	res, err := eel.AnalyzeAll(exec, eel.AnalysisOptions{})
+	check(err)
+
 	sites, easy, hard, impossible := 0, 0, 0, 0
-	instrument := func(r *eel.Routine) {
-		g, err := r.ControlFlowGraph()
-		check(err)
+	for _, a := range res.Analyses {
+		check(a.Err)
+		r, g := a.Routine, a.Graph
 		for _, b := range g.Blocks {
 			if b.Uneditable {
 				continue
@@ -69,16 +75,6 @@ func main() {
 			}
 		}
 		check(r.ProduceEditedRoutine())
-	}
-	for _, r := range exec.Routines() {
-		instrument(r)
-	}
-	for {
-		r := exec.TakeHidden()
-		if r == nil {
-			break
-		}
-		instrument(r)
 	}
 
 	// The buffer pointer must start at the buffer: patch the initial

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"eel/internal/binfile"
 	"eel/internal/machine"
@@ -24,6 +25,12 @@ type Executable struct {
 
 	routines []*Routine // sorted by Start
 	hidden   []*Routine // discovered but not yet claimed by the tool
+
+	// mu guards the routine list against concurrent hidden-routine
+	// discovery: distinct routines may be analyzed in parallel (see
+	// internal/pipeline), and each analysis can split an unreachable
+	// tail off its own routine, which inserts into the shared list.
+	mu sync.Mutex
 
 	// Options controlling editing (ablation hooks).
 	// FoldDelaySlots re-folds unedited hoisted slot instructions
@@ -337,11 +344,14 @@ func (e *Executable) findInterproceduralEntries() {
 }
 
 // addHiddenTail splits off the unreachable tail of r (stage 4) as a
-// new hidden routine.
+// new hidden routine.  Only r's own analysis may call this for r, so
+// r's extent needs no lock; the shared routine list does.
 func (e *Executable) addHiddenTail(r *Routine, tail uint32) *Routine {
 	if tail <= r.Start || tail >= r.End {
 		return nil
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	h := &Routine{
 		Exec:    e,
 		Name:    fmt.Sprintf("hidden_%08x", tail),
@@ -358,6 +368,14 @@ func (e *Executable) addHiddenTail(r *Routine, tail uint32) *Routine {
 	e.routines[i] = h
 	e.hidden = append(e.hidden, h)
 	return h
+}
+
+// RegisterHiddenTail replays a hidden-routine split recorded by a
+// cached analysis (internal/pipeline): the tail of r becomes a new
+// hidden routine exactly as if this run's analysis had discovered it.
+// It is a no-op when r has already been split at or before tail.
+func (e *Executable) RegisterHiddenTail(r *Routine, tail uint32) *Routine {
+	return e.addHiddenTail(r, tail)
 }
 
 // EditedAddr maps an original address to its location in the edited

@@ -57,6 +57,12 @@ func (r *Routine) addEntry(a uint32) {
 // the paper's two-stage construction (§3.3).  Hidden routines
 // discovered from unreachable tails are registered with the
 // executable (§3.1 stage 4).
+//
+// Distinct routines of one executable may build their graphs
+// concurrently (internal/pipeline does): construction touches only
+// this routine, read-only image data, the goroutine-safe decoder,
+// and the locked routine list.  Calling it concurrently for the
+// same routine is not supported.
 func (r *Routine) ControlFlowGraph() (*cfg.Graph, error) {
 	if r.graph != nil {
 		return r.graph, nil
@@ -119,6 +125,12 @@ func (r *Routine) ControlFlowGraph() (*cfg.Graph, error) {
 	r.graph = g
 	return g, nil
 }
+
+// InstallGraph adopts a previously built CFG as this routine's graph,
+// so ControlFlowGraph and ProduceEditedRoutine reuse it instead of
+// recomputing.  The analysis pipeline calls this on a cache hit; the
+// graph must describe this routine's extent and entry points.
+func (r *Routine) InstallGraph(g *cfg.Graph) { r.graph = g }
 
 // DeleteControlFlowGraph drops the cached CFG and any accumulated
 // edits (the paper's delete_control_flow_graph, used to reclaim

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"eel/internal/cfg"
+	"eel/internal/core"
+	"eel/internal/dataflow"
+)
+
+// analysisVersion is baked into every cache key; bump it whenever the
+// CFG builder, liveness, dominator, loop, or slicing code changes
+// meaning, so stale entries from an older analysis can never be
+// returned.
+const analysisVersion = 1
+
+// Key content-addresses one routine analysis: a 64-bit FNV-1a digest
+// over the routine's machine words, its entry-point offsets, the
+// analysis version, the option bits that change analysis results, and
+// a whole-image salt (dispatch tables referenced by indirect-jump
+// slicing live outside the routine's own words, so two images that
+// differ anywhere may slice differently).  Start and the word count
+// are kept alongside the digest: block and instruction addresses are
+// absolute, so an analysis is only reusable for a routine loaded at
+// the same address, and keeping them in the key also cuts the
+// collision surface.
+type Key struct {
+	Hash  uint64
+	Start uint32
+	Words uint32
+}
+
+// bundle is the immutable payload cached per key.  Graphs, liveness
+// maps, dominators, and loops are shared on a hit — callers must
+// treat them as read-only, which every analysis consumer in this
+// repository does.
+type bundle struct {
+	graph *cfg.Graph
+	live  *dataflow.Liveness
+	idom  map[*cfg.Block]*cfg.Block
+	loops []*dataflow.Loop
+	// hasLoops distinguishes "loop stage ran, found none" from "loop
+	// stage skipped" (both leave loops nil).
+	hasLoops bool
+	// tail records a hidden-routine discovery (§3.1 stage 4) made
+	// while this analysis was first computed, so a hit on a fresh
+	// executable replays the split; 0 when none.
+	tail uint32
+	// work volume, replayed into Stats on a hit so cached and
+	// uncached runs report comparable totals.
+	insts, blocks, edges int64
+}
+
+// Cache is a bounded, content-addressed memoization of routine
+// analyses with LRU eviction.  It is safe for concurrent use by the
+// pipeline's workers and may be shared across executables and across
+// AnalyzeAll runs; re-analyzing an unchanged program is pure hits.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*list.Element
+	order    *list.List // front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+// lruEntry is what order elements carry.
+type lruEntry struct {
+	key Key
+	b   *bundle
+}
+
+// DefaultCacheCapacity bounds a Cache built with capacity <= 0.
+const DefaultCacheCapacity = 4096
+
+// NewCache builds a cache holding at most capacity routine analyses
+// (DefaultCacheCapacity when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[Key]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached bundle for k, counting a hit or miss.
+func (c *Cache) get(k Key) (*bundle, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).b, true
+}
+
+// put stores b under k, evicting least-recently-used entries beyond
+// capacity.  Storing an existing key refreshes it (two workers racing
+// on identical routines both compute; the second store wins, which is
+// harmless since the bundles are equivalent).
+func (c *Cache) put(k Key, b *bundle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*lruEntry).b = b
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&lruEntry{key: k, b: b})
+	for len(c.entries) > c.capacity {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached analyses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counters returns lifetime hit/miss/eviction counts.
+func (c *Cache) Counters() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Reset empties the cache and zeroes its counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*list.Element)
+	c.order = list.New()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// imageSalt digests everything about the image that is not the
+// routine's own words but can still influence its analysis: section
+// layout and contents (dispatch tables!), the entry point, and the
+// container format.
+func imageSalt(e *core.Executable) uint64 {
+	h := fnv.New64a()
+	writeU32 := func(v uint32) {
+		h.Write([]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	}
+	h.Write([]byte(e.File.Format))
+	writeU32(e.File.Entry)
+	for i := range e.File.Sections {
+		s := &e.File.Sections[i]
+		h.Write([]byte(s.Name))
+		writeU32(s.Addr)
+		writeU32(uint32(len(s.Data)))
+		h.Write(s.Data)
+	}
+	return h.Sum64()
+}
+
+// routineKey content-addresses r's current extent.  ok is false when
+// the routine's words are not fully mapped in the text section, in
+// which case the analysis is simply not cached.
+func routineKey(e *core.Executable, r *core.Routine, salt uint64) (Key, bool) {
+	text := e.File.Text()
+	if text == nil || r.Start < text.Addr || r.End > text.End() || r.End < r.Start {
+		return Key{}, false
+	}
+	words := text.Data[r.Start-text.Addr : r.End-text.Addr]
+	h := fnv.New64a()
+	writeU32 := func(v uint32) {
+		h.Write([]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	}
+	writeU32(analysisVersion)
+	writeU32(optionBits(e))
+	writeU32(uint32(salt >> 32))
+	writeU32(uint32(salt))
+	for _, entry := range r.Entries {
+		writeU32(entry - r.Start)
+	}
+	h.Write(words)
+	return Key{Hash: h.Sum64(), Start: r.Start, Words: uint32(len(words) / 4)}, true
+}
+
+// optionBits encodes the executable options that change analysis
+// results (they gate indirect-jump resolution in the CFG builder).
+func optionBits(e *core.Executable) uint32 {
+	var bits uint32
+	if e.ForceRuntimeTranslation {
+		bits |= 1
+	}
+	if e.LightAnalysis {
+		bits |= 2
+	}
+	return bits
+}

@@ -1,0 +1,319 @@
+// Package pipeline analyzes a whole executable concurrently.  EEL's
+// per-routine analyses — CFG construction with indirect-jump slicing
+// (§3.3), liveness (§3.5), dominators, natural loops — are
+// independent across routines, so a bounded worker pool fans routines
+// out and collects one immutable RoutineAnalysis bundle per routine,
+// in routine order, making the result bit-identical to a sequential
+// walk regardless of worker count.
+//
+// Analysis can discover new routines (the §3.1 stage-4 hidden-routine
+// split of unreachable tails); the pipeline runs in waves until no
+// undiscovered routine remains, so callers never need the manual
+// hidden-routine worklist loop of the paper's Figure 1.
+//
+// An optional content-addressed Cache memoizes bundles across runs
+// and executables: a routine whose machine words (and anything its
+// analysis can observe) are unchanged is a map hit instead of a
+// recompute, which makes re-edit workflows and repeated corpus runs
+// cheap.  A Stats block (per-stage times, throughput, cache hit rate)
+// comes back with every run.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"eel/internal/cfg"
+	"eel/internal/core"
+	"eel/internal/dataflow"
+)
+
+// Options configures AnalyzeAll.  The zero value asks for everything:
+// GOMAXPROCS workers, liveness, dominators, and loops, with no cache.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, memoizes routine analyses across runs.
+	Cache *Cache
+	// NoLiveness, NoDominators, and NoLoops skip the corresponding
+	// dataflow stage (the CFG is always built).  Skipping loops
+	// implies nothing about dominators; each flag is independent,
+	// except that loops need dominators and compute them on demand.
+	NoLiveness   bool
+	NoDominators bool
+	NoLoops      bool
+}
+
+// RoutineAnalysis is one routine's immutable analysis bundle.  When
+// it came from a cache shared with another executable, Graph and the
+// dataflow results are shared objects: treat them as read-only.
+type RoutineAnalysis struct {
+	Routine *core.Routine
+	// Graph is the normalized CFG (nil when Err is set).
+	Graph *cfg.Graph
+	// Liveness, IDom, and Loops are nil when the corresponding
+	// Options flag disabled them (or Err is set).
+	Liveness *dataflow.Liveness
+	IDom     map[*cfg.Block]*cfg.Block
+	Loops    []*dataflow.Loop
+	// Err records a CFG-construction failure; the pipeline keeps
+	// going so one bad routine doesn't hide the rest.
+	Err error
+	// FromCache reports that this bundle was a cache hit.
+	FromCache bool
+}
+
+// IndirectJumps is a convenience accessor (nil-safe on Err bundles).
+func (a *RoutineAnalysis) IndirectJumps() []*cfg.IndirectJump {
+	if a.Graph == nil {
+		return nil
+	}
+	return a.Graph.IndirectJumps
+}
+
+// Result is a whole-executable analysis.
+type Result struct {
+	Exec *core.Executable
+	// Analyses holds one bundle per routine — including hidden
+	// routines discovered during this run — sorted by routine start
+	// address (the executable's routine order).
+	Analyses []*RoutineAnalysis
+	Stats    Stats
+
+	byRoutine map[*core.Routine]*RoutineAnalysis
+}
+
+// Of returns r's bundle, or nil.
+func (res *Result) Of(r *core.Routine) *RoutineAnalysis { return res.byRoutine[r] }
+
+// ByName returns the bundle for the named routine, or nil.
+func (res *Result) ByName(name string) *RoutineAnalysis {
+	for _, a := range res.Analyses {
+		if a.Routine.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AnalyzeAll analyzes every routine of e concurrently and returns the
+// bundles in routine order.  The result is deterministic: any worker
+// count produces the same analyses in the same order as a sequential
+// walk.  e's routine list may grow during the run (hidden-routine
+// discovery); the returned analyses cover the final list.
+func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
+	if e == nil {
+		return nil, fmt.Errorf("pipeline: nil executable")
+	}
+	if e.File == nil || e.File.Text() == nil {
+		return nil, fmt.Errorf("pipeline: executable has no text section")
+	}
+	if len(e.Routines()) == 0 {
+		return nil, fmt.Errorf("pipeline: executable has no routines (call ReadContents first)")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{Exec: e, byRoutine: map[*core.Routine]*RoutineAnalysis{}}
+	col := &collector{}
+	start := time.Now()
+
+	var salt uint64
+	var hits0, misses0, evict0 uint64
+	if opts.Cache != nil {
+		timed(&col.hashNS, func() { salt = imageSalt(e) })
+		hits0, misses0, evict0 = opts.Cache.Counters()
+	}
+
+	// Waves: analyze every not-yet-analyzed routine, which may
+	// discover hidden routines for the next wave.  Workers touch only
+	// their own routine (plus executable-level state behind the
+	// executable's lock), so each wave is race-free; the barrier
+	// between waves makes discovery deterministic.
+	discovered := 0
+	waves := 0
+	for {
+		var pending []*core.Routine
+		for _, r := range e.Routines() {
+			if res.byRoutine[r] == nil {
+				pending = append(pending, r)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		waves++
+		if waves > 1 {
+			discovered += len(pending)
+		}
+
+		out := make([]*RoutineAnalysis, len(pending))
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		n := workers
+		if n > len(pending) {
+			n = len(pending)
+		}
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					out[idx] = analyzeRoutine(e, pending[idx], opts, salt, col)
+				}
+			}()
+		}
+		for idx := range pending {
+			jobs <- idx
+		}
+		close(jobs)
+		wg.Wait()
+
+		for i, r := range pending {
+			res.byRoutine[r] = out[i]
+		}
+	}
+
+	// Collect in the executable's (address-sorted) routine order.
+	for _, r := range e.Routines() {
+		if a := res.byRoutine[r]; a != nil {
+			res.Analyses = append(res.Analyses, a)
+		}
+	}
+
+	res.Stats.Routines = len(res.Analyses)
+	res.Stats.Hidden = discovered
+	res.Stats.Workers = workers
+	res.Stats.Waves = waves
+	res.Stats.Wall = time.Since(start)
+	col.snapshot(&res.Stats)
+	if opts.Cache != nil {
+		hits1, misses1, evict1 := opts.Cache.Counters()
+		res.Stats.CacheHits = hits1 - hits0
+		res.Stats.CacheMisses = misses1 - misses0
+		res.Stats.CacheEvictions = evict1 - evict0
+	}
+	return res, nil
+}
+
+// analyzeRoutine produces one routine's bundle, consulting and
+// populating the cache when one is configured.
+func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint64, col *collector) *RoutineAnalysis {
+	var key Key
+	keyOK := false
+	if opts.Cache != nil {
+		timed(&col.hashNS, func() { key, keyOK = routineKey(e, r, salt) })
+		if keyOK {
+			if b, hit := opts.Cache.get(key); hit && bundleCovers(b, opts) {
+				return adoptBundle(e, r, b, col)
+			}
+		}
+	}
+
+	preEnd := r.End
+	a := &RoutineAnalysis{Routine: r}
+	var g *cfg.Graph
+	var err error
+	timed(&col.cfgNS, func() { g, err = r.ControlFlowGraph() })
+	if err != nil {
+		col.errs.Add(1)
+		a.Err = err
+		return a
+	}
+	a.Graph = g
+	var insts int64
+	for _, b := range g.Blocks {
+		insts += int64(len(b.Insts))
+	}
+	col.insts.Add(insts)
+	col.blocks.Add(int64(len(g.Blocks)))
+	col.edges.Add(int64(len(g.Edges)))
+
+	if !opts.NoLiveness {
+		timed(&col.liveNS, func() {
+			a.Liveness = dataflow.ComputeLiveness(g, dataflow.DefaultExitLive())
+		})
+	}
+	if !opts.NoDominators || !opts.NoLoops {
+		var idom map[*cfg.Block]*cfg.Block
+		timed(&col.domNS, func() { idom = dataflow.Dominators(g) })
+		if !opts.NoDominators {
+			a.IDom = idom
+		}
+		if !opts.NoLoops {
+			timed(&col.loopNS, func() { a.Loops = dataflow.NaturalLoops(g, idom) })
+		}
+	}
+
+	if opts.Cache != nil && keyOK {
+		b := &bundle{
+			graph:    g,
+			live:     a.Liveness,
+			idom:     a.IDom,
+			loops:    a.Loops,
+			hasLoops: !opts.NoLoops,
+			insts:    insts,
+			blocks:   int64(len(g.Blocks)),
+			edges:    int64(len(g.Edges)),
+		}
+		if r.End < preEnd {
+			// Analysis split an unreachable tail off this routine;
+			// remember it so a hit on a fresh executable replays the
+			// split.
+			b.tail = r.End
+		}
+		opts.Cache.put(key, b)
+		if b.tail != 0 {
+			// Also index by the shrunken extent, so re-analyzing this
+			// same (already split) executable still hits.
+			var postKey Key
+			var postOK bool
+			timed(&col.hashNS, func() { postKey, postOK = routineKey(e, r, salt) })
+			if postOK {
+				opts.Cache.put(postKey, b)
+			}
+		}
+	}
+	return a
+}
+
+// bundleCovers reports whether a cached bundle satisfies what opts
+// asks for (a bundle cached by a run that skipped liveness cannot
+// serve a run that wants it).
+func bundleCovers(b *bundle, opts Options) bool {
+	if !opts.NoLiveness && b.live == nil {
+		return false
+	}
+	if !opts.NoDominators && b.idom == nil {
+		return false
+	}
+	if !opts.NoLoops && !b.hasLoops {
+		return false
+	}
+	return true
+}
+
+// adoptBundle installs a cached analysis into r: the routine's CFG
+// accessor will return the cached graph, and a recorded hidden-tail
+// discovery is replayed against this executable.
+func adoptBundle(e *core.Executable, r *core.Routine, b *bundle, col *collector) *RoutineAnalysis {
+	if b.tail != 0 && b.tail < r.End {
+		e.RegisterHiddenTail(r, b.tail)
+	}
+	r.InstallGraph(b.graph)
+	col.insts.Add(b.insts)
+	col.blocks.Add(b.blocks)
+	col.edges.Add(b.edges)
+	return &RoutineAnalysis{
+		Routine:   r,
+		Graph:     b.graph,
+		Liveness:  b.live,
+		IDom:      b.idom,
+		Loops:     b.loops,
+		FromCache: true,
+	}
+}

@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stats summarizes one AnalyzeAll run: where the time went (per-stage
+// wall time summed across workers), how much work was done
+// (instructions decoded, blocks and edges built), and how the
+// memoizing cache behaved.  It is the measurement substrate for the
+// repository's performance trajectory; scripts/bench.sh serializes
+// the same quantities as JSON.
+type Stats struct {
+	// Routines is the number of routines analyzed (including hidden
+	// routines discovered during the run); Hidden counts just the
+	// latter.  Errors counts routines whose CFG construction failed.
+	Routines int
+	Hidden   int
+	Errors   int
+
+	// Workers is the pool size used; Waves is the number of
+	// fan-out rounds (more than one only when analysis discovers
+	// hidden routines that then need analyzing themselves).
+	Workers int
+	Waves   int
+
+	// Wall is the end-to-end elapsed time of the run.  The per-stage
+	// durations below are summed across workers, so they can exceed
+	// Wall on multi-core machines; their ratios show where the CPU
+	// time goes.
+	Wall         time.Duration
+	CFGTime      time.Duration
+	LivenessTime time.Duration
+	DomTime      time.Duration
+	LoopTime     time.Duration
+	HashTime     time.Duration
+
+	// Work volume.
+	InstsDecoded int64
+	BlocksBuilt  int64
+	EdgesBuilt   int64
+
+	// Cache behaviour during this run (zero when no cache was
+	// supplied).  Evictions counts entries this run pushed out.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+}
+
+// RoutinesPerSec is the run's analysis throughput.
+func (s Stats) RoutinesPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Routines) / s.Wall.Seconds()
+}
+
+// InstsPerSec is the run's decode throughput.
+func (s Stats) InstsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.InstsDecoded) / s.Wall.Seconds()
+}
+
+// CacheHitRate is hits/(hits+misses), or 0 when the run had no cache
+// traffic.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// String renders the stats in the multi-line form the CLI tools print
+// under -stats.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline: %d routines (%d hidden, %d errors) in %v with %d workers, %d wave(s)\n",
+		s.Routines, s.Hidden, s.Errors, s.Wall.Round(time.Microsecond), s.Workers, s.Waves)
+	fmt.Fprintf(&b, "  throughput: %.0f routines/s, %.0f insts/s (%d insts, %d blocks, %d edges)\n",
+		s.RoutinesPerSec(), s.InstsPerSec(), s.InstsDecoded, s.BlocksBuilt, s.EdgesBuilt)
+	fmt.Fprintf(&b, "  stage time (summed over workers): cfg %v, liveness %v, dominators %v, loops %v, hashing %v\n",
+		s.CFGTime.Round(time.Microsecond), s.LivenessTime.Round(time.Microsecond),
+		s.DomTime.Round(time.Microsecond), s.LoopTime.Round(time.Microsecond),
+		s.HashTime.Round(time.Microsecond))
+	if s.CacheHits+s.CacheMisses > 0 {
+		fmt.Fprintf(&b, "  cache: %d hits, %d misses, %d evictions (%.1f%% hit rate)",
+			s.CacheHits, s.CacheMisses, s.CacheEvictions, 100*s.CacheHitRate())
+	} else {
+		fmt.Fprintf(&b, "  cache: disabled")
+	}
+	return b.String()
+}
+
+// collector accumulates stage counters from concurrent workers; the
+// pipeline snapshots it into a Stats once the run completes.
+type collector struct {
+	cfgNS, liveNS, domNS, loopNS, hashNS atomic.Int64
+	insts, blocks, edges                 atomic.Int64
+	errs                                 atomic.Int64
+}
+
+// timed runs f and adds its duration to the given nanosecond counter.
+func timed(ns *atomic.Int64, f func()) {
+	t0 := time.Now()
+	f()
+	ns.Add(int64(time.Since(t0)))
+}
+
+func (c *collector) snapshot(s *Stats) {
+	s.CFGTime = time.Duration(c.cfgNS.Load())
+	s.LivenessTime = time.Duration(c.liveNS.Load())
+	s.DomTime = time.Duration(c.domNS.Load())
+	s.LoopTime = time.Duration(c.loopNS.Load())
+	s.HashTime = time.Duration(c.hashNS.Load())
+	s.InstsDecoded = c.insts.Load()
+	s.BlocksBuilt = c.blocks.Load()
+	s.EdgesBuilt = c.edges.Load()
+	s.Errors = int(c.errs.Load())
+}

@@ -3,6 +3,7 @@ package spawn
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"eel/internal/machine"
 )
@@ -21,37 +22,45 @@ type Glue func(d *Desc, def *InstDef, spec *machine.InstSpec)
 // represent all instances of a particular machine instruction",
 // reducing allocations roughly fourfold); SharingStats exposes the
 // measured ratio for experiment E6.
+//
+// Decode is safe for concurrent use: the intern cache is a sync.Map,
+// so parallel analysis workers share one decoder (and one instruction
+// object per distinct word) without serializing on a lock.  Two
+// workers racing on the same uncached word may both derive the spec,
+// but LoadOrStore guarantees a single canonical *Inst survives.
+// SetIntern and ResetStats reconfigure the decoder and must not run
+// concurrently with Decode.
 type TableDecoder struct {
 	desc    *Desc
 	glue    Glue
 	regName func(machine.Reg) string
 
-	mu      sync.Mutex
-	cache   map[uint32]*machine.Inst
-	decodes uint64
+	cache   atomic.Pointer[sync.Map] // uint32 → *machine.Inst
+	decodes atomic.Uint64
+	unique  atomic.Uint64
 
 	// interning can be disabled for the E6 ablation.
-	intern bool
+	intern atomic.Bool
 }
 
 // NewDecoder builds a decoder for desc.  glue and regName may be nil.
 func NewDecoder(desc *Desc, glue Glue, regName func(machine.Reg) string) *TableDecoder {
-	return &TableDecoder{
+	t := &TableDecoder{
 		desc:    desc,
 		glue:    glue,
 		regName: regName,
-		cache:   map[uint32]*machine.Inst{},
-		intern:  true,
 	}
+	t.cache.Store(&sync.Map{})
+	t.intern.Store(true)
+	return t
 }
 
 // SetIntern toggles instruction-object sharing (ablation E6).
 func (t *TableDecoder) SetIntern(on bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.intern = on
+	t.intern.Store(on)
 	if !on {
-		t.cache = map[uint32]*machine.Inst{}
+		t.cache.Store(&sync.Map{})
+		t.unique.Store(0)
 	}
 }
 
@@ -74,35 +83,33 @@ func (t *TableDecoder) RegName(r machine.Reg) string {
 
 // Decode returns the (shared) instruction for word.
 func (t *TableDecoder) Decode(word uint32) *machine.Inst {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.decodes++
-	if t.intern {
-		if inst, ok := t.cache[word]; ok {
-			return inst
-		}
+	t.decodes.Add(1)
+	if !t.intern.Load() {
+		return machine.NewInst(t.specFor(word))
+	}
+	m := t.cache.Load()
+	if v, ok := m.Load(word); ok {
+		return v.(*machine.Inst)
 	}
 	inst := machine.NewInst(t.specFor(word))
-	if t.intern {
-		t.cache[word] = inst
+	if prev, loaded := m.LoadOrStore(word, inst); loaded {
+		return prev.(*machine.Inst)
 	}
+	t.unique.Add(1)
 	return inst
 }
 
 // SharingStats returns total decode requests and distinct
-// instruction objects allocated (experiment E6).
+// instruction objects interned (experiment E6).
 func (t *TableDecoder) SharingStats() (decodes, unique uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.decodes, uint64(len(t.cache))
+	return t.decodes.Load(), t.unique.Load()
 }
 
 // ResetStats clears decode counters and the intern cache.
 func (t *TableDecoder) ResetStats() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.decodes = 0
-	t.cache = map[uint32]*machine.Inst{}
+	t.decodes.Store(0)
+	t.unique.Store(0)
+	t.cache.Store(&sync.Map{})
 }
 
 // specFor derives the full machine-independent spec for word.

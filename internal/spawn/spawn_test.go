@@ -2,6 +2,7 @@ package spawn
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"eel/internal/machine"
@@ -240,6 +241,58 @@ func TestDecoderInterning(t *testing.T) {
 	dec.SetIntern(false)
 	if dec.Decode(w) == dec.Decode(w) {
 		t.Error("uninterned decode returned shared object")
+	}
+}
+
+// TestDecoderParallelInterning hammers one decoder from many
+// goroutines (run under -race) and checks every goroutine observed
+// the same canonical *Inst per word and the sharing counters add up.
+func TestDecoderParallelInterning(t *testing.T) {
+	d := toy(t)
+	dec := NewDecoder(d, nil, nil)
+	words := []uint32{
+		word(d, map[string]uint32{"op": 0, "rd": 1, "rs1": 2, "rs2": 3}),
+		word(d, map[string]uint32{"op": 1, "rd": 4, "rs1": 5}),
+		word(d, map[string]uint32{"op": 3, "rd": 6, "rs1": 7, "imm16": 16}),
+		word(d, map[string]uint32{"op": 6, "imm16": 8}),
+		word(d, map[string]uint32{"op": 8}),
+	}
+	const goroutines, rounds = 16, 200
+	got := make([][]*machine.Inst, goroutines)
+	var wg sync.WaitGroup
+	for gi := range got {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			mine := make([]*machine.Inst, len(words))
+			for r := 0; r < rounds; r++ {
+				for wi, w := range words {
+					in := dec.Decode(w)
+					if mine[wi] == nil {
+						mine[wi] = in
+					} else if mine[wi] != in {
+						t.Errorf("goroutine %d: word %#x decoded to two objects", gi, w)
+						return
+					}
+				}
+			}
+			got[gi] = mine
+		}(gi)
+	}
+	wg.Wait()
+	for gi := 1; gi < goroutines; gi++ {
+		for wi := range words {
+			if got[gi][wi] != got[0][wi] {
+				t.Errorf("goroutines 0 and %d disagree on word %d", gi, wi)
+			}
+		}
+	}
+	decodes, unique := dec.SharingStats()
+	if want := uint64(goroutines * rounds * len(words)); decodes != want {
+		t.Errorf("decodes = %d, want %d", decodes, want)
+	}
+	if unique != uint64(len(words)) {
+		t.Errorf("unique = %d, want %d", unique, len(words))
 	}
 }
 

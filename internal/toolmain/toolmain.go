@@ -16,6 +16,7 @@ import (
 
 	"eel/internal/binfile"
 	"eel/internal/core"
+	"eel/internal/pipeline"
 	"eel/internal/progen"
 	"eel/internal/qpt"
 	"eel/internal/sim"
@@ -31,6 +32,8 @@ func Run(tool string, mode qpt.Mode, args []string) error {
 	genRoutines := fs.Int("gen-routines", 40, "routines in the generated program")
 	top := fs.Int("top", 10, "edges to print with -run")
 	maxSteps := fs.Uint64("max-steps", 500_000_000, "emulator step limit")
+	jobs := fs.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print analysis pipeline statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,7 +70,28 @@ func Run(tool string, mode qpt.Mode, args []string) error {
 		return err
 	}
 
+	// Analyze all routines up front on the concurrent pipeline; the
+	// instrumentation pass below then finds every CFG already built.
+	// Light mode's analysis options must be set before analysis, not
+	// inside Instrument, so the cached graphs match the mode.
+	if mode == qpt.Light {
+		e.LightAnalysis = true
+		e.Scavenge = false
+		e.FoldDelaySlots = false
+	}
 	start := time.Now()
+	pres, err := pipeline.AnalyzeAll(e, pipeline.Options{
+		Workers:      *jobs,
+		NoDominators: true,
+		NoLoops:      true,
+	})
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Println(pres.Stats)
+	}
+
 	var res *qpt.Result
 	var opt *qpt.OptimalResult
 	if *optimal {

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh — run the pipeline benchmarks and emit BENCH_pipeline.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Runs BenchmarkPipelineParallel (worker scaling) and
+# BenchmarkPipelineCache (cold vs warm memoization) and converts the
+# `go test -bench` output into a JSON array of
+#   {"name": ..., "ns_per_op": ..., "metrics": {unit: value, ...}}
+# records, one per benchmark line.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pipeline.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPipeline' -benchtime "${BENCHTIME:-5x}" . | tee "$raw"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""
+    metrics = ""
+    for (i = 2; i <= NF - 1; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        else if ($(i + 1) ~ /\//  || $(i + 1) ~ /^[a-zA-Z%-]/) {
+            if ($(i + 1) == "ns/op") continue
+            if (metrics != "") metrics = metrics ", "
+            metrics = metrics "\"" $(i + 1) "\": " $i
+        }
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"metrics\": {%s}}", name, (ns == "" ? "null" : ns), metrics
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
