@@ -487,6 +487,32 @@ func BenchmarkEmulator(b *testing.B) {
 	}
 }
 
+// benchmarkSim runs the medium workload end to end in one of the two
+// execution engines and reports simulated instructions per second.
+func benchmarkSim(b *testing.B, nojit bool) {
+	start := time.Now()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		cpu := sim.LoadFile(benchProgram.File, nil)
+		cpu.NoJIT = nojit
+		if err := cpu.Run(2_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		insts += cpu.InstCount
+	}
+	sec := time.Since(start).Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(insts)/sec, "sim-insts/s")
+	}
+}
+
+// BenchmarkSimInterp is the single-step AST-interpreter baseline.
+func BenchmarkSimInterp(b *testing.B) { benchmarkSim(b, true) }
+
+// BenchmarkSimTranslated is the translation-cache (threaded-code)
+// engine; its sim-insts/s over BenchmarkSimInterp's is the speedup.
+func BenchmarkSimTranslated(b *testing.B) { benchmarkSim(b, false) }
+
 // BenchmarkAssemble measures the two-pass assembler.
 func BenchmarkAssemble(b *testing.B) {
 	src := benchProgram.Source

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	_ "eel/internal/aout"
 	_ "eel/internal/elf32"
@@ -39,6 +40,7 @@ func main() {
 	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
 	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print analysis pipeline statistics")
+	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
 	flag.Parse()
 
 	var orig, edited *binfile.File
@@ -81,12 +83,13 @@ func main() {
 		check(fmt.Errorf("need two executables, or -gen"))
 	}
 
-	o, oOut := run(orig, *maxSteps)
-	e, eOut := run(edited, *maxSteps)
+	o, oOut, oRate := run(orig, *maxSteps, *nojit)
+	e, eOut, eRate := run(edited, *maxSteps, *nojit)
 
-	fmt.Printf("original: exit %d, %d instructions, %d bytes output\n", o.ExitCode, o.InstCount, len(oOut))
-	fmt.Printf("edited:   exit %d, %d instructions, %d bytes output (%.2fx)\n",
-		e.ExitCode, e.InstCount, len(eOut), float64(e.InstCount)/float64(max(1, o.InstCount)))
+	fmt.Printf("original: exit %d, %d instructions, %d bytes output, %.0f insts/sec\n",
+		o.ExitCode, o.InstCount, len(oOut), oRate)
+	fmt.Printf("edited:   exit %d, %d instructions, %d bytes output (%.2fx), %.0f insts/sec\n",
+		e.ExitCode, e.InstCount, len(eOut), float64(e.InstCount)/float64(max(1, o.InstCount)), eRate)
 
 	if o.ExitCode != e.ExitCode || !bytes.Equal(oOut, eOut) {
 		fmt.Println("VERIFY FAILED: behaviour diverged")
@@ -95,16 +98,23 @@ func main() {
 	fmt.Println("VERIFY OK: identical behaviour")
 }
 
-func run(f *binfile.File, maxSteps uint64) (*sim.CPU, []byte) {
+func run(f *binfile.File, maxSteps uint64, nojit bool) (*sim.CPU, []byte, float64) {
 	var out bytes.Buffer
 	cpu := sim.LoadFile(f, &out)
+	cpu.NoJIT = nojit
+	start := time.Now()
 	if err := cpu.Run(maxSteps); err != nil {
 		check(fmt.Errorf("execution: %w", err))
 	}
+	elapsed := time.Since(start).Seconds()
 	if !cpu.Halted {
 		check(fmt.Errorf("program did not halt"))
 	}
-	return cpu, out.Bytes()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(cpu.InstCount) / elapsed
+	}
+	return cpu, out.Bytes(), rate
 }
 
 func max(a, b uint64) uint64 {

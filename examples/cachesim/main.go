@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"eel"
 	"eel/internal/activemem"
@@ -23,6 +24,7 @@ func main() {
 	routines := flag.Int("routines", 40, "workload size")
 	lineBytes := flag.Int("line", 16, "cache line size")
 	sets := flag.Int("sets", 256, "direct-mapped sets")
+	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
 	flag.Parse()
 
 	cfg := progen.DefaultConfig(*seed)
@@ -31,6 +33,7 @@ func main() {
 	check(err)
 
 	orig := sim.LoadFile(p.File, os.Stdout)
+	orig.NoJIT = *nojit
 	check(orig.Run(500_000_000))
 
 	exec, err := eel.Load(p.File)
@@ -45,7 +48,10 @@ func main() {
 	check(err)
 
 	inst := sim.LoadFile(edited, os.Stdout)
+	inst.NoJIT = *nojit
+	simStart := time.Now()
 	check(inst.Run(2_000_000_000))
+	simRate := float64(inst.InstCount) / time.Since(simStart).Seconds()
 	if inst.ExitCode != orig.ExitCode {
 		fmt.Fprintln(os.Stderr, "cachesim: edited program diverged!")
 		os.Exit(1)
@@ -59,8 +65,8 @@ func main() {
 	fmt.Printf("cache: %d sets x %dB lines (%d KB direct-mapped)\n",
 		*sets, *lineBytes, *sets**lineBytes/1024)
 	fmt.Printf("original run:     %10d instructions\n", orig.InstCount)
-	fmt.Printf("instrumented run: %10d instructions (%.1fx slowdown — paper reports 2-7x)\n",
-		inst.InstCount, slowdown)
+	fmt.Printf("instrumented run: %10d instructions (%.1fx slowdown — paper reports 2-7x) at %.0f insts/sec\n",
+		inst.InstCount, slowdown, simRate)
 	fmt.Printf("accesses %d, misses %d (%.1f%% miss ratio)\n",
 		accesses, misses, 100*float64(misses)/float64(max(1, accesses)))
 }

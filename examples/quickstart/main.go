@@ -7,8 +7,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"eel"
 	"eel/internal/asm"
@@ -38,6 +40,9 @@ done:	mov 1, %g1
 `
 
 func main() {
+	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	flag.Parse()
+
 	// Assemble the demo program into an executable image.
 	prog, err := asm.Assemble(program, 0x10000)
 	check(err)
@@ -90,12 +95,16 @@ func main() {
 		num, len(img.Text().Data), len(edited.Text().Data))
 
 	// --- Run both versions ---
+	start := time.Now()
 	orig := sim.LoadFile(img, os.Stdout)
+	orig.NoJIT = *nojit
 	check(orig.Run(1_000_000))
 	inst := sim.LoadFile(edited, os.Stdout)
+	inst.NoJIT = *nojit
 	check(inst.Run(1_000_000))
+	rate := float64(orig.InstCount+inst.InstCount) / time.Since(start).Seconds()
 	fmt.Printf("original: exit %d in %d instructions\n", orig.ExitCode, orig.InstCount)
-	fmt.Printf("edited:   exit %d in %d instructions\n", inst.ExitCode, inst.InstCount)
+	fmt.Printf("edited:   exit %d in %d instructions (%.0f insts/sec)\n", inst.ExitCode, inst.InstCount, rate)
 	if orig.ExitCode != inst.ExitCode {
 		fmt.Println("BEHAVIOUR DIVERGED — editing bug!")
 		os.Exit(1)

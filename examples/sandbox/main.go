@@ -8,8 +8,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"eel"
 	"eel/internal/asm"
@@ -40,6 +42,9 @@ main:	set 0x400010, %l0
 `
 
 func main() {
+	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	flag.Parse()
+
 	prog, err := asm.Assemble(program, 0x10000)
 	check(err)
 	img := &eel.File{
@@ -54,6 +59,7 @@ func main() {
 
 	// Unsandboxed run: the wild store lands at 0x7fe000.
 	orig := sim.LoadFile(img, os.Stdout)
+	orig.NoJIT = *nojit
 	check(orig.Run(10000))
 	fmt.Printf("unsandboxed: [0x7fe000] = %d (corrupted), exit %d\n",
 		orig.Mem.Read32(0x7fe000), orig.ExitCode)
@@ -89,7 +95,11 @@ func main() {
 	check(err)
 
 	boxed := sim.LoadFile(edited, os.Stdout)
+	boxed.NoJIT = *nojit
+	start := time.Now()
 	check(boxed.Run(10000))
+	rate := float64(boxed.InstCount) / time.Since(start).Seconds()
+	fmt.Printf("sandboxed run: %d instructions at %.0f insts/sec\n", boxed.InstCount, rate)
 	confined := segBase + (0x7fe000 & (segSize - 1) &^ 3)
 	fmt.Printf("sandboxed (%d stores rewritten): [0x7fe000] = %d, confined write at %#x = %d, exit %d\n",
 		sites, boxed.Mem.Read32(0x7fe000), confined, boxed.Mem.Read32(uint32(confined)), boxed.ExitCode)

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"eel"
 	"eel/internal/core"
@@ -24,6 +25,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 4, "workload seed")
 	show := flag.Int("show", 12, "trace entries to print")
+	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
 	flag.Parse()
 
 	cfg := progen.DefaultConfig(*seed)
@@ -97,11 +99,14 @@ func main() {
 	}
 
 	cpu := sim.LoadFile(edited, os.Stdout)
+	cpu.NoJIT = *nojit
+	start := time.Now()
 	check(cpu.Run(500_000_000))
+	rate := float64(cpu.InstCount) / time.Since(start).Seconds()
 
 	end := cpu.Mem.Read32(bufPtr)
 	n := (end - buf) / 4
-	fmt.Printf("traced %d memory sites; %d references recorded\n", sites, n)
+	fmt.Printf("traced %d memory sites; %d references recorded (%.0f insts/sec)\n", sites, n, rate)
 	fmt.Printf("slice profile over traced sites: %d easy, %d hard, %d impossible\n", easy, hard, impossible)
 	fmt.Printf("first %d references:\n", *show)
 	for i := uint32(0); i < uint32(*show) && i < n; i++ {

@@ -12,18 +12,30 @@ import "eel/internal/cfg"
 // ID order so analyses still see them).
 func ReversePostorder(g *cfg.Graph) []*cfg.Block {
 	seen := make([]bool, len(g.Blocks))
-	var post []*cfg.Block
-	var dfs func(b *cfg.Block)
-	dfs = func(b *cfg.Block) {
-		seen[b.ID] = true
-		for _, e := range b.Succ {
-			if !seen[e.To.ID] {
-				dfs(e.To)
-			}
-		}
-		post = append(post, b)
+	post := make([]*cfg.Block, 0, len(g.Blocks))
+	// Iterative DFS with an explicit frame stack: recursion depth is
+	// the length of the longest straight-line chain, which for large
+	// machine-generated routines can overflow the goroutine stack.
+	type frame struct {
+		b    *cfg.Block
+		next int // index of the next successor edge to explore
 	}
-	dfs(g.Entry)
+	seen[g.Entry.ID] = true
+	stack := []frame{{b: g.Entry}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.b.Succ) {
+			e := f.b.Succ[f.next]
+			f.next++
+			if !seen[e.To.ID] {
+				seen[e.To.ID] = true
+				stack = append(stack, frame{b: e.To})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
 	// Reverse.
 	out := make([]*cfg.Block, 0, len(g.Blocks))
 	for i := len(post) - 1; i >= 0; i-- {

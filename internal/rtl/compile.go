@@ -1,0 +1,922 @@
+package rtl
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the compile pass behind the emulator's
+// translation cache: a ground semantic AST is lowered once into a
+// flat program of closures specialized on the instruction's decoded
+// field values.  Field references become constants, register indices
+// and immediates fold at compile time (so "iflag = 1 ? sex(simm13) :
+// R[rs2]" compiles to either a constant or a single register read),
+// temporaries become slots in a reusable array instead of a map, and
+// condition tests and builtins resolve to direct function calls.
+// Executing a Prog therefore does no AST dispatch and, with a
+// caller-supplied Ctx, no allocation on the common path.
+//
+// Compilation is deliberately conservative: any construct whose
+// lowering cannot be proven equivalent to the interpreter (dynamic
+// memory widths, unreduced lambdas, malformed statements) fails with
+// a CompileError and the caller falls back to Exec, which remains the
+// semantic reference.
+
+// CompileEnv supplies the static half of a Machine: the decoded
+// instruction's field values and the description's register model.
+// Every Machine is a CompileEnv.
+type CompileEnv interface {
+	// Field returns the decoded value of an instruction field.
+	Field(name string) (int64, bool)
+	// FieldWidth returns a field's declared bit width.
+	FieldWidth(name string) (int, bool)
+	// RegAlias resolves a named register to a register file and index.
+	RegAlias(name string) (file string, idx int64, ok bool)
+	// IsRegFile reports whether name denotes a register file.
+	IsRegFile(name string) bool
+}
+
+// CompileError reports that a semantic AST cannot be lowered; callers
+// fall back to the AST interpreter (Exec).
+type CompileError struct {
+	Expr Node
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	if e.Expr == nil {
+		return "rtl: compile: " + e.Msg
+	}
+	return fmt.Sprintf("rtl: compile %s: %s", e.Expr, e.Msg)
+}
+
+type exprFn func(ctx *Ctx) (uint64, error)
+type stmtFn func(ctx *Ctx) error
+
+// cexpr is a compiled expression: a constant folded at compile time,
+// or a closure evaluated at run time.
+type cexpr struct {
+	isConst bool
+	val     uint64
+	fn      exprFn
+}
+
+func constExpr(v uint64) cexpr { return cexpr{isConst: true, val: v} }
+func dynExpr(fn exprFn) cexpr  { return cexpr{fn: fn} }
+
+func (e cexpr) eval(ctx *Ctx) (uint64, error) {
+	if e.isConst {
+		return e.val, nil
+	}
+	return e.fn(ctx)
+}
+
+// Pending-write kinds, mirroring the interpreter's parallel-step
+// commit discipline.
+const (
+	pendReg = iota
+	pendMem
+	pendPC
+)
+
+type cpend struct {
+	kind int
+	w    int
+	file string
+	idx  int64
+	addr uint64
+	val  uint64
+}
+
+// Ctx is the reusable scratch state for Prog.Run.  The zero value is
+// ready to use; callers that execute many programs (the emulator)
+// keep one Ctx so temporaries and pending writes never reallocate.
+type Ctx struct {
+	m     Machine
+	temps []uint64
+	pend  []cpend
+}
+
+// Prog is a compiled semantic program.  It is immutable after Compile
+// and safe for concurrent Run calls with distinct Ctx values.
+type Prog struct {
+	steps  [][]stmtFn
+	nTemps int
+}
+
+// Run executes the program against m, reusing ctx's buffers.  The
+// execution discipline is identical to Exec: parallel operations
+// within a step read all inputs before any write commits, and pc
+// assignments in steps after the first are delayed transfers.
+func (p *Prog) Run(m Machine, ctx *Ctx) error {
+	ctx.m = m
+	if cap(ctx.temps) < p.nTemps {
+		ctx.temps = make([]uint64, p.nTemps)
+	} else {
+		ctx.temps = ctx.temps[:p.nTemps]
+		for i := range ctx.temps {
+			ctx.temps[i] = 0
+		}
+	}
+	for i, step := range p.steps {
+		ctx.pend = ctx.pend[:0]
+		for _, op := range step {
+			if err := op(ctx); err != nil {
+				return err
+			}
+		}
+		delayed := i > 0
+		for j := range ctx.pend {
+			pw := &ctx.pend[j]
+			switch pw.kind {
+			case pendReg:
+				if err := m.WriteReg(pw.file, pw.idx, pw.val); err != nil {
+					return err
+				}
+			case pendMem:
+				if err := m.WriteMem(pw.addr, pw.w, pw.val); err != nil {
+					return err
+				}
+			default:
+				m.SetPC(pw.val, delayed)
+			}
+		}
+	}
+	return nil
+}
+
+type compiler struct {
+	env   CompileEnv
+	slots map[string]int
+}
+
+// Compile lowers a ground semantic statement list to a Prog
+// specialized on env's field values.
+func Compile(n Node, env CompileEnv) (*Prog, error) {
+	if n == nil {
+		return nil, &CompileError{nil, "no semantics"}
+	}
+	c := &compiler{env: env, slots: map[string]int{}}
+	seq, ok := n.(Seq)
+	if !ok {
+		seq = Seq{Steps: [][]Node{{n}}}
+	}
+	p := &Prog{steps: make([][]stmtFn, 0, len(seq.Steps))}
+	for _, step := range seq.Steps {
+		var fns []stmtFn
+		for _, op := range step {
+			if err := c.stmt(op, &fns); err != nil {
+				return nil, err
+			}
+		}
+		p.steps = append(p.steps, fns)
+	}
+	p.nTemps = len(c.slots)
+	return p, nil
+}
+
+func (c *compiler) slot(name string) int {
+	if s, ok := c.slots[name]; ok {
+		return s
+	}
+	s := len(c.slots)
+	c.slots[name] = s
+	return s
+}
+
+// stmt compiles one operation, appending its closures to out.
+func (c *compiler) stmt(n Node, out *[]stmtFn) error {
+	switch x := UnwrapSeq(n).(type) {
+	case Assign:
+		rhs, err := c.expr(x.RHS)
+		if err != nil {
+			return err
+		}
+		return c.assign(x.LHS, rhs, out)
+	case Cond:
+		cond, err := c.expr(x.C)
+		if err != nil {
+			return err
+		}
+		// A constant guard (the annul bit, an immediate-form flag)
+		// selects its arm at compile time.
+		if cond.isConst {
+			if cond.val != 0 {
+				return c.stmt(x.T, out)
+			}
+			if x.F != nil {
+				return c.stmt(x.F, out)
+			}
+			return nil
+		}
+		var tOps, fOps []stmtFn
+		if err := c.stmt(x.T, &tOps); err != nil {
+			return err
+		}
+		if x.F != nil {
+			if err := c.stmt(x.F, &fOps); err != nil {
+				return err
+			}
+		}
+		fn := cond.fn
+		*out = append(*out, func(ctx *Ctx) error {
+			v, err := fn(ctx)
+			if err != nil {
+				return err
+			}
+			ops := fOps
+			if v != 0 {
+				ops = tOps
+			}
+			for _, op := range ops {
+				if err := op(ctx); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return nil
+	case Seq:
+		// A nested parenthesized group inside a guard arm joins the
+		// current step, as in the interpreter.
+		for _, step := range x.Steps {
+			for _, op := range step {
+				if err := c.stmt(op, out); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case Ident:
+		if x.Name == "annul" {
+			*out = append(*out, func(ctx *Ctx) error {
+				ctx.m.Annul()
+				return nil
+			})
+			return nil
+		}
+		return &CompileError{x, "identifier is not a statement"}
+	case Apply:
+		fn, args := spine(x)
+		if id, ok := fn.(Ident); ok && id.Name == "trap" && len(args) == 1 {
+			arg, err := c.expr(args[0])
+			if err != nil {
+				return err
+			}
+			*out = append(*out, func(ctx *Ctx) error {
+				v, err := arg.eval(ctx)
+				if err != nil {
+					return err
+				}
+				return ctx.m.Trap(v)
+			})
+			return nil
+		}
+		// Effectful builtins (register-window operations) evaluate as
+		// expressions for their side effects.
+		e, err := c.expr(x)
+		if err != nil {
+			return err
+		}
+		if e.isConst {
+			return nil
+		}
+		efn := e.fn
+		*out = append(*out, func(ctx *Ctx) error {
+			_, err := efn(ctx)
+			return err
+		})
+		return nil
+	default:
+		return &CompileError{n, "not a statement"}
+	}
+}
+
+func regWrite(file string, idx int64, rhs cexpr) stmtFn {
+	return func(ctx *Ctx) error {
+		v, err := rhs.eval(ctx)
+		if err != nil {
+			return err
+		}
+		ctx.pend = append(ctx.pend, cpend{kind: pendReg, file: file, idx: idx, val: v})
+		return nil
+	}
+}
+
+func (c *compiler) assign(lhs Node, rhs cexpr, out *[]stmtFn) error {
+	switch t := UnwrapSeq(lhs).(type) {
+	case Ident:
+		if t.Name == "pc" {
+			*out = append(*out, func(ctx *Ctx) error {
+				v, err := rhs.eval(ctx)
+				if err != nil {
+					return err
+				}
+				ctx.pend = append(ctx.pend, cpend{kind: pendPC, val: v})
+				return nil
+			})
+			return nil
+		}
+		if file, idx, ok := c.env.RegAlias(t.Name); ok {
+			*out = append(*out, regWrite(file, idx, rhs))
+			return nil
+		}
+		if _, isField := c.env.Field(t.Name); isField {
+			return &CompileError{lhs, "cannot assign to instruction field " + t.Name}
+		}
+		// Local temporary; visible immediately.
+		slot := c.slot(t.Name)
+		*out = append(*out, func(ctx *Ctx) error {
+			v, err := rhs.eval(ctx)
+			if err != nil {
+				return err
+			}
+			ctx.temps[slot] = v
+			return nil
+		})
+		return nil
+	case Index:
+		base, ok := t.Base.(Ident)
+		if !ok {
+			return &CompileError{lhs, "bad assignment target"}
+		}
+		if base.Name == "M" {
+			addr, err := c.expr(t.Elem)
+			if err != nil {
+				return err
+			}
+			w, err := c.width(t)
+			if err != nil {
+				return err
+			}
+			*out = append(*out, func(ctx *Ctx) error {
+				v, err := rhs.eval(ctx)
+				if err != nil {
+					return err
+				}
+				a, err := addr.eval(ctx)
+				if err != nil {
+					return err
+				}
+				ctx.pend = append(ctx.pend, cpend{kind: pendMem, addr: a, w: w, val: v})
+				return nil
+			})
+			return nil
+		}
+		if !c.env.IsRegFile(base.Name) {
+			return &CompileError{lhs, "unknown register file " + base.Name}
+		}
+		idx, err := c.expr(t.Elem)
+		if err != nil {
+			return err
+		}
+		if idx.isConst {
+			*out = append(*out, regWrite(base.Name, int64(idx.val), rhs))
+			return nil
+		}
+		file := base.Name
+		ifn := idx.fn
+		*out = append(*out, func(ctx *Ctx) error {
+			v, err := rhs.eval(ctx)
+			if err != nil {
+				return err
+			}
+			i, err := ifn(ctx)
+			if err != nil {
+				return err
+			}
+			ctx.pend = append(ctx.pend, cpend{kind: pendReg, file: file, idx: int64(i), val: v})
+			return nil
+		})
+		return nil
+	default:
+		return &CompileError{lhs, "bad assignment target"}
+	}
+}
+
+func (c *compiler) width(ix Index) (int, error) {
+	if ix.Width == nil {
+		return 4, nil
+	}
+	w, err := c.expr(ix.Width)
+	if err != nil {
+		return 0, err
+	}
+	if !w.isConst {
+		return 0, &CompileError{ix, "dynamic memory width"}
+	}
+	if w.val != 1 && w.val != 2 && w.val != 4 && w.val != 8 {
+		return 0, &CompileError{ix, fmt.Sprintf("bad memory width %d", w.val)}
+	}
+	return int(w.val), nil
+}
+
+func (c *compiler) expr(n Node) (cexpr, error) {
+	switch x := UnwrapSeq(n).(type) {
+	case Num:
+		return constExpr(uint64(x.Val)), nil
+	case Ident:
+		return c.ident(x)
+	case Bin:
+		return c.bin(x)
+	case Un:
+		v, err := c.expr(x.X)
+		if err != nil {
+			return cexpr{}, err
+		}
+		switch x.Op {
+		case "-":
+			return pure1(v, func(a uint64) uint64 { return -a }), nil
+		case "~":
+			return pure1(v, func(a uint64) uint64 { return ^a }), nil
+		case "!":
+			return pure1(v, func(a uint64) uint64 { return b2u(a == 0) }), nil
+		}
+		return cexpr{}, &CompileError{n, "unknown unary op " + x.Op}
+	case Cond:
+		cond, err := c.expr(x.C)
+		if err != nil {
+			return cexpr{}, err
+		}
+		if cond.isConst {
+			if cond.val != 0 {
+				return c.expr(x.T)
+			}
+			if x.F == nil {
+				return cexpr{}, &CompileError{n, "conditional expression lacks else arm"}
+			}
+			return c.expr(x.F)
+		}
+		t, err := c.expr(x.T)
+		if err != nil {
+			return cexpr{}, err
+		}
+		var f cexpr
+		if x.F == nil {
+			// The interpreter only errors when the condition is false
+			// at run time; preserve that.
+			at := n
+			f = dynExpr(func(ctx *Ctx) (uint64, error) {
+				return 0, &EvalError{at, "conditional expression lacks else arm"}
+			})
+		} else {
+			if f, err = c.expr(x.F); err != nil {
+				return cexpr{}, err
+			}
+		}
+		cfn := cond.fn
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			v, err := cfn(ctx)
+			if err != nil {
+				return 0, err
+			}
+			if v != 0 {
+				return t.eval(ctx)
+			}
+			return f.eval(ctx)
+		}), nil
+	case Index:
+		return c.indexExpr(x)
+	case Apply:
+		return c.applyExpr(x)
+	default:
+		return cexpr{}, &CompileError{n, "not an expression"}
+	}
+}
+
+func (c *compiler) ident(x Ident) (cexpr, error) {
+	// Mirror the interpreter's precedence: temporaries, fields, pc,
+	// register aliases.  (Temporary and field names never collide:
+	// assignment to a field name is rejected.)
+	if slot, ok := c.slots[x.Name]; ok {
+		return dynExpr(func(ctx *Ctx) (uint64, error) { return ctx.temps[slot], nil }), nil
+	}
+	if v, ok := c.env.Field(x.Name); ok {
+		return constExpr(uint64(v)), nil
+	}
+	if x.Name == "pc" {
+		return dynExpr(func(ctx *Ctx) (uint64, error) { return ctx.m.PC(), nil }), nil
+	}
+	if file, idx, ok := c.env.RegAlias(x.Name); ok {
+		return regRead(file, idx), nil
+	}
+	return cexpr{}, &CompileError{x, "unknown identifier"}
+}
+
+func regRead(file string, idx int64) cexpr {
+	return dynExpr(func(ctx *Ctx) (uint64, error) { return ctx.m.ReadReg(file, idx) })
+}
+
+func (c *compiler) indexExpr(x Index) (cexpr, error) {
+	base, ok := x.Base.(Ident)
+	if !ok {
+		return cexpr{}, &CompileError{x, "bad indexed reference"}
+	}
+	if base.Name == "M" {
+		addr, err := c.expr(x.Elem)
+		if err != nil {
+			return cexpr{}, err
+		}
+		w, err := c.width(x)
+		if err != nil {
+			return cexpr{}, err
+		}
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			a, err := addr.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return ctx.m.ReadMem(a, w)
+		}), nil
+	}
+	if !c.env.IsRegFile(base.Name) {
+		return cexpr{}, &CompileError{x, "unknown register file " + base.Name}
+	}
+	idx, err := c.expr(x.Elem)
+	if err != nil {
+		return cexpr{}, err
+	}
+	if idx.isConst {
+		return regRead(base.Name, int64(idx.val)), nil
+	}
+	file := base.Name
+	ifn := idx.fn
+	return dynExpr(func(ctx *Ctx) (uint64, error) {
+		i, err := ifn(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return ctx.m.ReadReg(file, int64(i))
+	}), nil
+}
+
+func (c *compiler) bin(x Bin) (cexpr, error) {
+	l, err := c.expr(x.L)
+	if err != nil {
+		return cexpr{}, err
+	}
+	switch x.Op {
+	case "&&", "||":
+		r, err := c.expr(x.R)
+		if err != nil {
+			return cexpr{}, err
+		}
+		and := x.Op == "&&"
+		if l.isConst {
+			if and && l.val == 0 {
+				return constExpr(0), nil
+			}
+			if !and && l.val != 0 {
+				return constExpr(1), nil
+			}
+			return pure1(r, func(v uint64) uint64 { return b2u(v != 0) }), nil
+		}
+		lfn := l.fn
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			lv, err := lfn(ctx)
+			if err != nil {
+				return 0, err
+			}
+			if and && lv == 0 {
+				return 0, nil
+			}
+			if !and && lv != 0 {
+				return 1, nil
+			}
+			rv, err := r.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return b2u(rv != 0), nil
+		}), nil
+	}
+	r, err := c.expr(x.R)
+	if err != nil {
+		return cexpr{}, err
+	}
+	switch x.Op {
+	case "+":
+		return pure2(l, r, func(a, b uint64) uint64 { return a + b }), nil
+	case "-":
+		return pure2(l, r, func(a, b uint64) uint64 { return a - b }), nil
+	case "*":
+		return pure2(l, r, func(a, b uint64) uint64 { return a * b }), nil
+	case "/", "%":
+		mod := x.Op == "%"
+		at := x
+		div := func(a, b uint64) (uint64, error) {
+			if b == 0 {
+				return 0, &EvalError{at, "division by zero"}
+			}
+			if mod {
+				return uint64(int64(a) % int64(b)), nil
+			}
+			return uint64(int64(a) / int64(b)), nil
+		}
+		if l.isConst && r.isConst {
+			if v, err := div(l.val, r.val); err == nil {
+				return constExpr(v), nil
+			}
+		}
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			a, err := l.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			b, err := r.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return div(a, b)
+		}), nil
+	case "&":
+		return pure2(l, r, func(a, b uint64) uint64 { return a & b }), nil
+	case "|":
+		return pure2(l, r, func(a, b uint64) uint64 { return a | b }), nil
+	case "^":
+		return pure2(l, r, func(a, b uint64) uint64 { return a ^ b }), nil
+	case "<<":
+		return pure2(l, r, func(a, b uint64) uint64 { return a << (b & 63) }), nil
+	case ">>":
+		return pure2(l, r, func(a, b uint64) uint64 { return a >> (b & 63) }), nil
+	case "==":
+		return pure2(l, r, func(a, b uint64) uint64 { return b2u(a == b) }), nil
+	case "!=":
+		return pure2(l, r, func(a, b uint64) uint64 { return b2u(a != b) }), nil
+	case "<":
+		return pure2(l, r, func(a, b uint64) uint64 { return b2u(int64(a) < int64(b)) }), nil
+	case "<=":
+		return pure2(l, r, func(a, b uint64) uint64 { return b2u(int64(a) <= int64(b)) }), nil
+	case ">":
+		return pure2(l, r, func(a, b uint64) uint64 { return b2u(int64(a) > int64(b)) }), nil
+	case ">=":
+		return pure2(l, r, func(a, b uint64) uint64 { return b2u(int64(a) >= int64(b)) }), nil
+	}
+	return cexpr{}, &CompileError{x, "unknown operator " + x.Op}
+}
+
+func (c *compiler) applyExpr(x Apply) (cexpr, error) {
+	fn, args := spine(x)
+	switch f := fn.(type) {
+	case Sym:
+		if len(args) != 1 {
+			return cexpr{}, &CompileError{x, "condition test wants one register"}
+		}
+		if _, err := condTest(f.Name, 0, x); err != nil {
+			return cexpr{}, &CompileError{x, "unknown condition test '" + f.Name}
+		}
+		arg, err := c.expr(args[0])
+		if err != nil {
+			return cexpr{}, err
+		}
+		name, at := f.Name, x
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			v, err := arg.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return condTest(name, v, at)
+		}), nil
+	case Ident:
+		return c.builtinExpr(f.Name, args, x)
+	default:
+		return cexpr{}, &CompileError{x, "cannot apply non-function"}
+	}
+}
+
+func (c *compiler) builtinExpr(name string, args []Node, at Node) (cexpr, error) {
+	vals := make([]cexpr, len(args))
+	for i, a := range args {
+		v, err := c.expr(a)
+		if err != nil {
+			return cexpr{}, err
+		}
+		vals[i] = v
+	}
+	argc := func(n int) error {
+		if len(vals) != n {
+			return &CompileError{at, fmt.Sprintf("builtin %s wants %d arguments, got %d", name, n, len(vals))}
+		}
+		return nil
+	}
+	switch name {
+	case "sex":
+		switch len(args) {
+		case 1:
+			id, ok := UnwrapSeq(args[0]).(Ident)
+			if !ok {
+				return cexpr{}, &CompileError{at, "sex of non-field needs explicit width"}
+			}
+			w, ok := c.env.FieldWidth(id.Name)
+			if !ok {
+				return cexpr{}, &CompileError{at, "sex: unknown field " + id.Name}
+			}
+			return pure1(vals[0], func(v uint64) uint64 { return signExtend(v, w) }), nil
+		case 2:
+			return pure2(vals[0], vals[1], func(v, w uint64) uint64 { return signExtend(v, int(w)) }), nil
+		}
+		return cexpr{}, &CompileError{at, "sex wants 1 or 2 arguments"}
+	case "sexb":
+		if err := argc(1); err != nil {
+			return cexpr{}, err
+		}
+		return pure1(vals[0], func(v uint64) uint64 { return signExtend(v, 8) }), nil
+	case "sexh":
+		if err := argc(1); err != nil {
+			return cexpr{}, err
+		}
+		return pure1(vals[0], func(v uint64) uint64 { return signExtend(v, 16) }), nil
+	case "shl":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(a, b uint64) uint64 { return u32(uint32(a) << (b & 31)) }), nil
+	case "shr":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(a, b uint64) uint64 { return u32(uint32(a) >> (b & 31)) }), nil
+	case "sar":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(a, b uint64) uint64 {
+			return uint64(int64(int32(uint32(a)) >> (b & 31)))
+		}), nil
+	case "cc_add":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(a, b uint64) uint64 { return ccAdd(uint32(a), uint32(b)) }), nil
+	case "cc_sub":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(a, b uint64) uint64 { return ccSub(uint32(a), uint32(b)) }), nil
+	case "cc_logic":
+		if err := argc(1); err != nil {
+			return cexpr{}, err
+		}
+		return pure1(vals[0], func(v uint64) uint64 { return ccLogic(uint32(v)) }), nil
+	case "umul":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(a, b uint64) uint64 { return u32(uint32(a * b)) }), nil
+	case "smul":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(a, b uint64) uint64 {
+			return u32(uint32(int32(uint32(a)) * int32(uint32(b))))
+		}), nil
+	case "udiv", "sdiv", "urem", "srem":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		op, l, r := name, vals[0], vals[1]
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			av, err := l.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			bv, err := r.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			a, b := uint32(av), uint32(bv)
+			if b == 0 {
+				return 0, &EvalError{at, "division by zero"}
+			}
+			switch op {
+			case "udiv":
+				return u32(a / b), nil
+			case "urem":
+				return u32(a % b), nil
+			case "sdiv":
+				return u32(uint32(int32(a) / int32(b))), nil
+			default:
+				return u32(uint32(int32(a) % int32(b))), nil
+			}
+		}), nil
+	case "fadd":
+		return c.fbin(vals, at, func(a, b float32) float32 { return a + b })
+	case "fsub":
+		return c.fbin(vals, at, func(a, b float32) float32 { return a - b })
+	case "fmul":
+		return c.fbin(vals, at, func(a, b float32) float32 { return a * b })
+	case "fdiv":
+		return c.fbin(vals, at, func(a, b float32) float32 { return a / b })
+	case "fneg":
+		if err := argc(1); err != nil {
+			return cexpr{}, err
+		}
+		return pure1(vals[0], func(v uint64) uint64 {
+			return u32(math.Float32bits(-math.Float32frombits(uint32(v))))
+		}), nil
+	case "fabs":
+		if err := argc(1); err != nil {
+			return cexpr{}, err
+		}
+		return pure1(vals[0], func(v uint64) uint64 {
+			return u32(math.Float32bits(float32(math.Abs(float64(math.Float32frombits(uint32(v)))))))
+		}), nil
+	case "fcmp":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		return pure2(vals[0], vals[1], func(av, bv uint64) uint64 {
+			a := math.Float32frombits(uint32(av))
+			b := math.Float32frombits(uint32(bv))
+			var fcc uint64
+			switch {
+			case a != a || b != b: // NaN
+				fcc = 3 // unordered
+			case a < b:
+				fcc = 1
+			case a > b:
+				fcc = 2
+			default:
+				fcc = 0
+			}
+			return fcc << 10
+		}), nil
+	case "fitos":
+		if err := argc(1); err != nil {
+			return cexpr{}, err
+		}
+		return pure1(vals[0], func(v uint64) uint64 {
+			return u32(math.Float32bits(float32(int32(uint32(v)))))
+		}), nil
+	case "fstoi":
+		if err := argc(1); err != nil {
+			return cexpr{}, err
+		}
+		return pure1(vals[0], func(v uint64) uint64 {
+			return u32(uint32(int32(math.Float32frombits(uint32(v)))))
+		}), nil
+	case "winsave", "winrestore":
+		if err := argc(2); err != nil {
+			return cexpr{}, err
+		}
+		n, a, b := name, vals[0], vals[1]
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			av, err := a.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			bv, err := b.eval(ctx)
+			if err != nil {
+				return 0, err
+			}
+			sm, ok := ctx.m.(SpecialMachine)
+			if !ok {
+				return 0, ErrDynamic
+			}
+			return 0, sm.Special(n, []uint64{av, bv})
+		}), nil
+	}
+	return cexpr{}, &CompileError{at, "unknown builtin " + name}
+}
+
+func (c *compiler) fbin(vals []cexpr, at Node, f func(a, b float32) float32) (cexpr, error) {
+	if len(vals) != 2 {
+		return cexpr{}, &CompileError{at, "float builtin wants 2 arguments"}
+	}
+	return pure2(vals[0], vals[1], func(a, b uint64) uint64 {
+		return u32(math.Float32bits(f(math.Float32frombits(uint32(a)), math.Float32frombits(uint32(b)))))
+	}), nil
+}
+
+// pure1 builds a one-argument pure operation, folding constants.
+func pure1(a cexpr, f func(uint64) uint64) cexpr {
+	if a.isConst {
+		return constExpr(f(a.val))
+	}
+	fn := a.fn
+	return dynExpr(func(ctx *Ctx) (uint64, error) {
+		v, err := fn(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return f(v), nil
+	})
+}
+
+// pure2 builds a two-argument pure operation, folding constants.
+func pure2(a, b cexpr, f func(x, y uint64) uint64) cexpr {
+	if a.isConst && b.isConst {
+		return constExpr(f(a.val, b.val))
+	}
+	return dynExpr(func(ctx *Ctx) (uint64, error) {
+		x, err := a.eval(ctx)
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.eval(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return f(x, y), nil
+	})
+}

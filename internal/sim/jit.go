@@ -1,0 +1,185 @@
+// The translation-cache execution engine: a threaded-code fast path
+// for Run.  On first execution of a text address the decoded
+// instruction's RTL semantics are lowered (once per distinct word, by
+// rtl.Compile via spawn.InstSem.Compiled) to a flat micro-op program,
+// and straight-line runs are collected into superblocks stored in a
+// direct-mapped-by-address cache.  Executing a superblock repeats
+// execute-compiled-program / advance-pipeline with no memory fetch,
+// no decoder lookup, and no AST dispatch; untaken conditional
+// branches and annulled slots continue inside the block, and tight
+// loops whose target lies in the block never leave it.
+//
+// Architected behaviour is bit-identical to the interpreter: each
+// block step mirrors Step minus fetch/decode and shares finishStep,
+// so delayed branches, annulled slots, register windows, traps,
+// InstCount and AnnulCount agree exactly (the differential tests in
+// jit_test.go prove it).  The engine deoptimizes to Step whenever
+// OnExec is set, the pc leaves translated text, or an instruction
+// cannot be compiled — and cached blocks are invalidated when text
+// memory is written (self-modifying edits) or the CPU is Reset onto a
+// new executable.
+package sim
+
+import (
+	"eel/internal/machine"
+	"eel/internal/rtl"
+	"eel/internal/spawn"
+)
+
+const (
+	// tcEntries sizes the direct-mapped block cache (indexed by
+	// word-aligned pc).
+	tcEntries = 1 << 12
+	// tcMaxBlock bounds superblock length in instructions.
+	tcMaxBlock = 64
+)
+
+// compiledInst is one translated instruction: the interned decoded
+// instruction plus its compiled semantics.
+type compiledInst struct {
+	inst *machine.Inst
+	prog *rtl.Prog
+}
+
+// tblock is a superblock: compiled instructions for the text run
+// starting at pc.  A block with no instructions marks an address the
+// engine must interpret (invalid word, uncompilable semantics).
+type tblock struct {
+	pc    uint32
+	insts []compiledInst
+}
+
+// transCache is a direct-mapped translation cache plus its
+// generation counter, bumped on every invalidation so in-flight
+// superblocks notice text writes mid-run.
+type transCache struct {
+	entries [tcEntries]*tblock
+	gen     uint64
+
+	// counters for introspection and tests.
+	builds  uint64
+	flushes uint64
+}
+
+func tcIndex(pc uint32) uint32 { return (pc >> 2) & (tcEntries - 1) }
+
+// InvalidateText discards every cached translation block.  It is
+// called automatically when a watched text write occurs or the CPU is
+// Reset; callers that mutate text bypassing Memory (or change
+// TextStart/TextEnd) should call it directly.
+func (c *CPU) InvalidateText() {
+	if c.tc == nil {
+		return
+	}
+	c.tc.gen++
+	c.tc.flushes++
+	for i := range c.tc.entries {
+		c.tc.entries[i] = nil
+	}
+}
+
+// TranslationStats reports translation-cache activity: superblocks
+// built and whole-cache invalidations.
+func (c *CPU) TranslationStats() (builds, flushes uint64) {
+	if c.tc == nil {
+		return 0, 0
+	}
+	return c.tc.builds, c.tc.flushes
+}
+
+// block returns the translation block anchored at pc, building (and
+// caching) it on a miss.
+func (c *CPU) block(pc uint32) *tblock {
+	if c.tc == nil {
+		c.tc = &transCache{}
+		// Self-modifying edits must evict stale translations.
+		c.Mem.WatchWrites(c.TextStart, c.TextEnd, func(addr, n uint32) { c.InvalidateText() })
+	}
+	i := tcIndex(pc)
+	if b := c.tc.entries[i]; b != nil && b.pc == pc {
+		return b
+	}
+	b := c.buildBlock(pc)
+	c.tc.entries[i] = b
+	c.tc.builds++
+	return b
+}
+
+// buildBlock translates the straight-line run starting at pc.  It
+// stops at text bounds, undecodable or uncompilable instructions, the
+// block length cap, or one instruction past an unconditional control
+// transfer (its delay slot); conditional branches do not end the
+// block, which is what makes it a superblock.
+func (c *CPU) buildBlock(pc uint32) *tblock {
+	b := &tblock{pc: pc}
+	slotsLeft := -1 // <0: not closing; 0: stop
+	for addr := pc; len(b.insts) < tcMaxBlock && slotsLeft != 0; addr += 4 {
+		if addr < c.TextStart || addr >= c.TextEnd || addr%4 != 0 {
+			break
+		}
+		word := c.Mem.Read32(addr)
+		inst := c.dec.Decode(word)
+		if !inst.Valid() {
+			break
+		}
+		sem, ok := inst.Sem().(*spawn.InstSem)
+		if !ok {
+			break
+		}
+		prog, err := sem.Compiled()
+		if err != nil {
+			break
+		}
+		b.insts = append(b.insts, compiledInst{inst: inst, prog: prog})
+		if slotsLeft > 0 {
+			slotsLeft--
+		} else if uncondTransfer(inst) {
+			slotsLeft = inst.DelaySlots()
+		}
+	}
+	return b
+}
+
+// uncondTransfer reports whether inst always leaves the fall-through
+// path, so that translating past its delay slot is wasted work.
+func uncondTransfer(inst *machine.Inst) bool {
+	switch inst.Category() {
+	case machine.CatJumpDirect, machine.CatJumpIndirect,
+		machine.CatCallDirect, machine.CatCallIndirect, machine.CatReturn:
+		return !inst.Conditional()
+	}
+	return false
+}
+
+// runBlock executes translated instructions for as long as the pc
+// stays inside b, mirroring Step exactly (minus fetch and decode).
+// It returns with no error whenever the generic loop must take over:
+// pc left the block, the step limit was reached, or a text write
+// invalidated the cache mid-block.
+func (c *CPU) runBlock(b *tblock, maxSteps uint64) error {
+	gen := c.tc.gen
+	for {
+		off := c.PC - b.pc
+		if off&3 != 0 || off>>2 >= uint32(len(b.insts)) {
+			return nil
+		}
+		if c.InstCount >= maxSteps {
+			return nil // outer loop raises ErrStepLimit at this pc
+		}
+		ci := &b.insts[off>>2]
+		c.curInst = ci.inst
+		c.hasDelayed, c.hasImmediate = false, false
+		annulBefore := c.annulNext
+		if err := ci.prog.Run(&c.env, &c.rtlCtx); err != nil {
+			return &Fault{c.PC, err}
+		}
+		c.InstCount++
+		if c.Halted {
+			return nil
+		}
+		c.finishStep(annulBefore)
+		if c.tc.gen != gen {
+			return nil // text was written; b may be stale
+		}
+	}
+}

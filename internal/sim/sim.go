@@ -43,11 +43,24 @@ var (
 	ErrStepLimit    = errors.New("step limit exceeded")
 )
 
-const pageSize = 1 << 12
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+)
 
 // Memory is a sparse, big-endian, byte-addressed 32-bit memory.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+
+	// watches observe writes into address ranges; the translation
+	// cache uses one over the text segment to catch self-modifying
+	// edits.
+	watches []memWatch
+}
+
+type memWatch struct {
+	lo, hi uint32
+	fn     func(addr, n uint32)
 }
 
 // NewMemory returns an empty memory.
@@ -55,8 +68,22 @@ func NewMemory() *Memory {
 	return &Memory{pages: map[uint32]*[pageSize]byte{}}
 }
 
+// WatchWrites registers fn to be called before every write that
+// overlaps [lo, hi).
+func (m *Memory) WatchWrites(lo, hi uint32, fn func(addr, n uint32)) {
+	m.watches = append(m.watches, memWatch{lo: lo, hi: hi, fn: fn})
+}
+
+func (m *Memory) notifyWrite(addr, n uint32) {
+	for _, w := range m.watches {
+		if addr < w.hi && addr+n > w.lo {
+			w.fn(addr, n)
+		}
+	}
+}
+
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
-	key := addr / pageSize
+	key := addr >> pageShift
 	p := m.pages[key]
 	if p == nil && create {
 		p = new([pageSize]byte)
@@ -76,6 +103,9 @@ func (m *Memory) ByteAt(addr uint32) byte {
 
 // SetByte stores b at addr.
 func (m *Memory) SetByte(addr uint32, b byte) {
+	if len(m.watches) != 0 {
+		m.notifyWrite(addr, 1)
+	}
 	m.page(addr, true)[addr%pageSize] = b
 }
 
@@ -96,11 +126,35 @@ func (m *Memory) Write(addr uint32, width int, v uint64) {
 	}
 }
 
-// Read32 reads a big-endian word.
-func (m *Memory) Read32(addr uint32) uint32 { return uint32(m.Read(addr, 4)) }
+// Read32 reads a big-endian word.  Aligned reads never cross a page
+// and index the page array directly instead of going byte-at-a-time
+// through ByteAt.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if addr&3 == 0 {
+		p := m.pages[addr>>pageShift]
+		if p == nil {
+			return 0
+		}
+		o := addr & (pageSize - 1)
+		return uint32(p[o])<<24 | uint32(p[o+1])<<16 | uint32(p[o+2])<<8 | uint32(p[o+3])
+	}
+	return uint32(m.Read(addr, 4))
+}
 
-// Write32 stores a big-endian word.
-func (m *Memory) Write32(addr uint32, v uint32) { m.Write(addr, 4, uint64(v)) }
+// Write32 stores a big-endian word, with the same aligned in-page
+// fast path as Read32.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr&3 == 0 {
+		if len(m.watches) != 0 {
+			m.notifyWrite(addr, 4)
+		}
+		p := m.page(addr, true)
+		o := addr & (pageSize - 1)
+		p[o], p[o+1], p[o+2], p[o+3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		return
+	}
+	m.Write(addr, 4, uint64(v))
+}
 
 // LoadSegment copies data into memory at addr.
 func (m *Memory) LoadSegment(addr uint32, data []byte) {
@@ -147,8 +201,14 @@ type CPU struct {
 	TextStart, TextEnd uint32
 
 	// OnExec, if set, observes every executed instruction — tests
-	// use it to compute ground-truth branch/edge counts.
+	// use it to compute ground-truth branch/edge counts.  While set,
+	// Run deoptimizes from the translation cache to single-step
+	// interpretation so every instruction is observed.
 	OnExec func(pc uint32, inst *machine.Inst)
+
+	// NoJIT forces Run to use the single-step AST interpreter
+	// instead of the translation-cache engine.
+	NoJIT bool
 
 	dec       *spawn.TableDecoder
 	windows   []window
@@ -160,16 +220,34 @@ type CPU struct {
 	immediateTarget uint32
 	hasImmediate    bool
 	curInst         *machine.Inst
+
+	// env is the reusable rtl.Machine view of this CPU; rtlCtx the
+	// reusable scratch state for compiled semantics.
+	env    cpuEnv
+	rtlCtx rtl.Ctx
+
+	// fetchKey/fetchPage cache the last instruction-fetch page:
+	// straight-line fetches hit the same 4 KiB page, so the common
+	// case skips the page-map lookup entirely.  Page pointers are
+	// stable for the life of a Memory, so the cache never goes stale.
+	fetchKey  uint32
+	fetchPage *[pageSize]byte
+
+	// tc is the translation-cache engine state (see jit.go).
+	tc *transCache
 }
 
 // New returns a CPU using dec (which must be a SPARC-shaped
 // description: integer file "R" with Y/PSR/FSR aliases).
 func New(dec *spawn.TableDecoder, mem *Memory) *CPU {
-	return &CPU{Mem: mem, dec: dec}
+	c := &CPU{Mem: mem, dec: dec}
+	c.env.c = c
+	return c
 }
 
 // Reset prepares the CPU to run from entry with the given stack
-// pointer.
+// pointer.  Cached translation blocks are discarded (a reused CPU may
+// be resuming on freshly loaded or edited text).
 func (c *CPU) Reset(entry, sp uint32) {
 	c.R = [32]uint32{}
 	c.R[14] = sp
@@ -182,6 +260,23 @@ func (c *CPU) Reset(entry, sp uint32) {
 	c.AnnulCount = 0
 	c.windows = c.windows[:0]
 	c.annulNext = false
+	c.fetchPage = nil
+	c.InvalidateText()
+}
+
+// fetch reads the instruction word at pc through the last-page cache.
+func (c *CPU) fetch(pc uint32) uint32 {
+	key := pc >> pageShift
+	p := c.fetchPage
+	if p == nil || key != c.fetchKey {
+		p = c.Mem.page(pc, false)
+		if p == nil {
+			return 0
+		}
+		c.fetchKey, c.fetchPage = key, p
+	}
+	o := pc & (pageSize - 1)
+	return uint32(p[o])<<24 | uint32(p[o+1])<<16 | uint32(p[o+2])<<8 | uint32(p[o+3])
 }
 
 // Step executes one instruction.  It returns nil when the program
@@ -196,7 +291,7 @@ func (c *CPU) Step() error {
 	if c.PC%4 != 0 {
 		return &Fault{c.PC, ErrMisaligned}
 	}
-	word := c.Mem.Read32(c.PC)
+	word := c.fetch(c.PC)
 	inst := c.dec.Decode(word)
 	if !inst.Valid() {
 		return &Fault{c.PC, fmt.Errorf("%w: %#08x", ErrIllegalInst, word)}
@@ -212,15 +307,25 @@ func (c *CPU) Step() error {
 	if c.OnExec != nil {
 		c.OnExec(c.PC, inst)
 	}
-	if err := rtl.Exec(sem.Def.Sem, &cpuEnv{c}); err != nil {
+	if c.env.c == nil {
+		c.env.c = c
+	}
+	if err := rtl.Exec(sem.Def.Sem, &c.env); err != nil {
 		return &Fault{c.PC, err}
 	}
 	c.InstCount++
 	if c.Halted {
 		return nil
 	}
+	c.finishStep(annulBefore)
+	return nil
+}
 
-	// Advance the delayed-control-transfer pipeline.
+// finishStep advances the delayed-control-transfer pipeline after a
+// successful semantic execution; annulBefore is annulNext as observed
+// before the instruction ran.  Step and the translation-cache engine
+// share it so architected behaviour is identical in both modes.
+func (c *CPU) finishStep(annulBefore bool) {
 	newPC := c.NPC
 	newNPC := c.NPC + 4
 	if c.hasImmediate {
@@ -236,16 +341,35 @@ func (c *CPU) Step() error {
 		c.PC = c.NPC
 		c.NPC += 4
 	}
-	return nil
 }
 
-// Run executes until halt or maxSteps instructions.
+// Run executes until halt or maxSteps instructions.  Unless NoJIT is
+// set (or OnExec demands single-step observation), execution goes
+// through the translation cache: straight-line runs of text compile
+// once into superblocks that execute without per-step decode or AST
+// dispatch, falling back to Step for anything unusual.
 func (c *CPU) Run(maxSteps uint64) error {
+	useJIT := !c.NoJIT && c.TextEnd > c.TextStart
 	for !c.Halted {
 		if c.InstCount >= maxSteps {
 			return &Fault{c.PC, ErrStepLimit}
 		}
-		if err := c.Step(); err != nil {
+		if !useJIT || c.OnExec != nil {
+			if err := c.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		b := c.block(c.PC)
+		if len(b.insts) == 0 {
+			// Unbuildable here (faulting pc, rare op): one interpreted
+			// step surfaces the identical behaviour or fault.
+			if err := c.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.runBlock(b, maxSteps); err != nil {
 			return err
 		}
 	}
@@ -335,6 +459,9 @@ func (e *cpuEnv) WriteReg(file string, idx int64, v uint64) error {
 
 func (e *cpuEnv) ReadMem(addr uint64, width int) (uint64, error) {
 	a := uint32(addr)
+	if width == 4 && a&3 == 0 {
+		return uint64(e.c.Mem.Read32(a)), nil
+	}
 	if width > 1 && a%uint32(width) != 0 {
 		return 0, fmt.Errorf("%w: read%d at %#x", ErrMisaligned, width, a)
 	}
@@ -343,6 +470,10 @@ func (e *cpuEnv) ReadMem(addr uint64, width int) (uint64, error) {
 
 func (e *cpuEnv) WriteMem(addr uint64, width int, v uint64) error {
 	a := uint32(addr)
+	if width == 4 && a&3 == 0 {
+		e.c.Mem.Write32(a, uint32(v))
+		return nil
+	}
 	if width > 1 && a%uint32(width) != 0 {
 		return fmt.Errorf("%w: write%d at %#x", ErrMisaligned, width, a)
 	}

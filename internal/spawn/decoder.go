@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"eel/internal/machine"
+	"eel/internal/rtl"
 )
 
 // Glue is the hand-written, machine-specific refinement hook (the Go
@@ -141,7 +142,7 @@ func (t *TableDecoder) specFor(word uint32) machine.InstSpec {
 		spec.Target = func(pc uint32) (uint32, bool) { return d.StaticTarget(def, f, pc) }
 	}
 	spec.Fields = fieldSlice(fields)
-	spec.Sem = &InstSem{Def: def, Desc: t.desc}
+	spec.Sem = &InstSem{Def: def, Desc: t.desc, Fields: fields}
 	if t.glue != nil {
 		t.glue(t.desc, def, &spec)
 	}
@@ -150,10 +151,68 @@ func (t *TableDecoder) specFor(word uint32) machine.InstSpec {
 
 // InstSem is the semantics handle attached to decoded instructions;
 // the emulator executes Def.Sem against the description's register
-// model.
+// model, or the compiled form from Compiled when it wants speed.
 type InstSem struct {
 	Def  *InstDef
 	Desc *Desc
+	// Fields holds the decoded field values the semantics are
+	// specialized on.
+	Fields map[string]uint32
+
+	compiled atomic.Pointer[compiledSem]
+}
+
+type compiledSem struct {
+	prog *rtl.Prog
+	err  error
+}
+
+// Compiled returns the instruction's semantics lowered once to an
+// rtl.Prog specialized on this word's field values.  Because the
+// decoder interns instructions by word, each distinct machine word is
+// compiled at most once per decoder; the result is cached on the
+// shared instruction object, so the emulator's translation cache gets
+// compiled semantics for free on re-decode.  Concurrent callers may
+// race to compile but always observe an equivalent program.
+func (s *InstSem) Compiled() (*rtl.Prog, error) {
+	if cs := s.compiled.Load(); cs != nil {
+		return cs.prog, cs.err
+	}
+	cs := &compiledSem{}
+	cs.prog, cs.err = rtl.Compile(s.Def.Sem, semCompileEnv{s})
+	s.compiled.Store(cs)
+	return cs.prog, cs.err
+}
+
+// semCompileEnv adapts an InstSem to rtl.CompileEnv: field values
+// come from the decoded word, the register model from the
+// description.
+type semCompileEnv struct{ s *InstSem }
+
+func (e semCompileEnv) Field(name string) (int64, bool) {
+	v, ok := e.s.Fields[name]
+	return int64(v), ok
+}
+
+func (e semCompileEnv) FieldWidth(name string) (int, bool) {
+	f, ok := e.s.Desc.Field(name)
+	if !ok {
+		return 0, false
+	}
+	return f.Width(), true
+}
+
+func (e semCompileEnv) RegAlias(name string) (string, int64, bool) {
+	a, ok := e.s.Desc.AliasFor(name)
+	if !ok {
+		return "", 0, false
+	}
+	return a.File, a.Index, true
+}
+
+func (e semCompileEnv) IsRegFile(name string) bool {
+	rf, ok := e.s.Desc.File(name)
+	return ok && rf.Count > 0
 }
 
 func fieldSlice(fields map[string]uint32) []machine.Field {

@@ -1,5 +1,6 @@
 #!/bin/sh
-# bench.sh — run the pipeline benchmarks and emit BENCH_pipeline.json.
+# bench.sh — run the pipeline and emulator benchmarks and emit
+# BENCH_pipeline.json plus BENCH_sim.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -7,7 +8,9 @@
 # BenchmarkPipelineCache (cold vs warm memoization) and converts the
 # `go test -bench` output into a JSON array of
 #   {"name": ..., "ns_per_op": ..., "metrics": {unit: value, ...}}
-# records, one per benchmark line.
+# records, one per benchmark line.  Then runs BenchmarkSimInterp and
+# BenchmarkSimTranslated and emits BENCH_sim.json with both engines'
+# instructions/sec and the translation-cache speedup ratio.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,3 +42,30 @@ END { print "\n]" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+# --- emulator engines: interpreter vs translation cache ---
+simout="BENCH_sim.json"
+simraw="$(mktemp)"
+trap 'rm -f "$raw" "$simraw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSim(Interp|Translated)$' \
+    -benchtime "${BENCHTIME:-5x}" . | tee "$simraw"
+
+awk '
+/^BenchmarkSimInterp/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") interp = $i
+}
+/^BenchmarkSimTranslated/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") trans = $i
+}
+END {
+    speedup = (interp > 0 ? trans / interp : 0)
+    printf "{\n"
+    printf "  \"interp_insts_per_sec\": %s,\n", (interp == "" ? "null" : interp)
+    printf "  \"translated_insts_per_sec\": %s,\n", (trans == "" ? "null" : trans)
+    printf "  \"speedup\": %.2f\n", speedup
+    printf "}\n"
+}
+' "$simraw" > "$simout"
+
+echo "wrote $simout"
