@@ -22,6 +22,7 @@ import (
 	"eel/internal/sim"
 	"eel/internal/sparc"
 	"eel/internal/spawn"
+	"eel/internal/telemetry"
 )
 
 // benchProgram caches one medium workload for the benchmarks: seed
@@ -512,6 +513,45 @@ func BenchmarkSimInterp(b *testing.B) { benchmarkSim(b, true) }
 // BenchmarkSimTranslated is the translation-cache (threaded-code)
 // engine; its sim-insts/s over BenchmarkSimInterp's is the speedup.
 func BenchmarkSimTranslated(b *testing.B) { benchmarkSim(b, false) }
+
+// BenchmarkSimTelemetry is the observability-overhead experiment: the
+// same workload as BenchmarkSimTranslated with telemetry fully
+// enabled (process-wide registry + tracer).  Its sim-insts/s against
+// BenchmarkSimTranslated's is the enabled cost; the disabled cost is
+// what BenchmarkSimTranslated itself pays (the nil-sink branches) and
+// is held under 2% by publishing counters per Run, not per step.
+func BenchmarkSimTelemetry(b *testing.B) {
+	telemetry.Enable()
+	telemetry.SetTracer(telemetry.NewTracer())
+	defer func() {
+		telemetry.SetTracer(nil)
+		telemetry.Disable()
+	}()
+	benchmarkSim(b, false)
+}
+
+// BenchmarkSimProfiled measures the per-pc profiling hooks eelprof
+// uses: per-instruction hotness recording on top of the translation
+// cache.
+func BenchmarkSimProfiled(b *testing.B) {
+	start := time.Now()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		cpu := sim.LoadFile(benchProgram.File, nil)
+		prof := cpu.EnableProfile()
+		if err := cpu.Run(2_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		if prof.Branches == 0 {
+			b.Fatal("profile recorded no branches")
+		}
+		insts += cpu.InstCount
+	}
+	sec := time.Since(start).Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(insts)/sec, "sim-insts/s")
+	}
+}
 
 // BenchmarkAssemble measures the two-pass assembler.
 func BenchmarkAssemble(b *testing.B) {

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	eeldump [-routine name] [-dis] [-cfg] [-gen seed] [-j N] [-stats] [input]
+//	eeldump [-routine name] [-dis] [-cfg] [-gen seed] [-j N] [-stats]
+//	        [-metrics] [-trace FILE] [-pprof ADDR] [input]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"eel/internal/pipeline"
 	"eel/internal/progen"
 	"eel/internal/sparc"
+	"eel/internal/telemetry"
 )
 
 func main() {
@@ -35,7 +37,14 @@ func main() {
 	gen := flag.Int64("gen", -1, "generate a synthetic input with this seed")
 	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print pipeline statistics")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	tool, err := tf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer tool.Close(os.Stderr)
 
 	var f *binfile.File
 	switch {

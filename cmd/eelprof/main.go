@@ -1,0 +1,204 @@
+// Command eelprof is a qpt-style execution profiler built on the
+// bundled SPARC emulator: it runs a program (a file, or a progen
+// workload with -gen) with per-pc profiling hooks enabled, analyzes
+// the executable on the concurrent pipeline, and prints a
+// deterministic hot-routine / hot-block profile with source-symbol
+// attribution from the container's symbol table — the observability
+// counterpart to qpt2's instrumentation-based edge profile, with no
+// editing of the program at all.
+//
+// Usage:
+//
+//	eelprof [-gen seed] [-gen-routines N] [-top N] [-nojit] [-j N]
+//	        [-metrics] [-trace FILE] [-pprof ADDR] [input]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	_ "eel/internal/aout"
+	_ "eel/internal/elf32"
+
+	"eel/internal/binfile"
+	"eel/internal/cfg"
+	"eel/internal/core"
+	"eel/internal/pipeline"
+	"eel/internal/progen"
+	"eel/internal/sim"
+	"eel/internal/telemetry"
+)
+
+func main() {
+	gen := flag.Int64("gen", -1, "generate a synthetic input with this seed")
+	genRoutines := flag.Int("gen-routines", 40, "routines in the generated program")
+	top := flag.Int("top", 10, "rows per table")
+	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
+	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
+	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
+	tf := telemetry.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	tool, err := tf.Start()
+	check(err)
+
+	var f *binfile.File
+	name := flag.Arg(0)
+	switch {
+	case *gen >= 0:
+		cfg := progen.DefaultConfig(*gen)
+		cfg.Routines = *genRoutines
+		p, err := progen.Generate(cfg)
+		check(err)
+		f = p.File
+		if name == "" {
+			name = fmt.Sprintf("gen%d", *gen)
+		}
+	case name != "":
+		var err error
+		f, err = binfile.ReadFile(name)
+		check(err)
+	default:
+		check(fmt.Errorf("need an input executable or -gen seed"))
+	}
+
+	out, err := profileRun(f, name, *nojit, *jobs, *top, *maxSteps)
+	check(err)
+	fmt.Print(out)
+
+	check(tool.Close(os.Stderr))
+}
+
+// profileRun executes f under the profiling emulator, analyzes it,
+// and renders the profile report.  It is deterministic for a given
+// input: the same program produces byte-identical output under either
+// execution engine and any worker count.
+func profileRun(f *binfile.File, name string, nojit bool, jobs, top int, maxSteps uint64) (string, error) {
+	cpu := sim.LoadFile(f, nil)
+	cpu.NoJIT = nojit
+	cpu.Decoder().AttachTelemetry(telemetry.Default())
+	prof := cpu.EnableProfile()
+	if err := cpu.Run(maxSteps); err != nil {
+		return "", fmt.Errorf("execution: %w", err)
+	}
+	prof.Publish(telemetry.Default())
+
+	e, err := core.NewExecutable(f)
+	if err != nil {
+		return "", err
+	}
+	if err := e.ReadContents(); err != nil {
+		return "", err
+	}
+	res, err := pipeline.AnalyzeAll(e, pipeline.Options{
+		Workers:      jobs,
+		NoLiveness:   true,
+		NoDominators: true,
+		NoLoops:      true,
+	})
+	if err != nil {
+		return "", err
+	}
+	return report(name, cpu, prof, res, top), nil
+}
+
+// row is one attributed profile entry.
+type row struct {
+	name   string
+	lo, hi uint32
+	count  uint64
+	insts  int
+}
+
+// report renders the hot-routine and hot-block tables.
+func report(name string, cpu *sim.CPU, prof *sim.Profile, res *pipeline.Result, top int) string {
+	var b strings.Builder
+	total := cpu.InstCount
+	fmt.Fprintf(&b, "eelprof: %s: exit %d after %d instructions (%d annulled)\n",
+		name, cpu.ExitCode, total, cpu.AnnulCount)
+	takenPct := 0.0
+	if prof.Branches > 0 {
+		takenPct = 100 * float64(prof.BranchesTaken) / float64(prof.Branches)
+	}
+	fmt.Fprintf(&b, "branches: %d executed, %d taken (%.1f%%); traps: %d\n",
+		prof.Branches, prof.BranchesTaken, takenPct, prof.Traps)
+	k := cpu.Counters()
+	fmt.Fprintf(&b, "jit: %d superblocks built, %d flushes, %d deopt steps\n",
+		k.Builds, k.Flushes, k.Deopts)
+
+	var routines []row
+	var blocks []row
+	for _, a := range res.Analyses {
+		if a.Err != nil {
+			continue
+		}
+		r := a.Routine
+		var rc uint64
+		for pc := r.Start; pc < r.End; pc += 4 {
+			rc += prof.PCCount(pc)
+		}
+		if rc > 0 {
+			routines = append(routines, row{name: r.Name, lo: r.Start, hi: r.End, count: rc})
+		}
+		for _, blk := range a.Graph.Blocks {
+			if blk.Kind != cfg.KindNormal && blk.Kind != cfg.KindDelaySlot {
+				continue
+			}
+			var bc uint64
+			for _, in := range blk.Insts {
+				bc += prof.PCCount(in.Addr)
+			}
+			if bc == 0 {
+				continue
+			}
+			last := blk.Insts[len(blk.Insts)-1].Addr
+			blocks = append(blocks, row{
+				name:  fmt.Sprintf("%s+%#x B%d", r.Name, blk.Start()-r.Start, blk.ID),
+				lo:    blk.Start(),
+				hi:    last + 4,
+				count: bc,
+				insts: len(blk.Insts),
+			})
+		}
+	}
+	byHotness := func(rows []row) {
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].count != rows[j].count {
+				return rows[i].count > rows[j].count
+			}
+			return rows[i].lo < rows[j].lo
+		})
+	}
+	byHotness(routines)
+	byHotness(blocks)
+
+	fmt.Fprintf(&b, "\nhot routines (top %d of %d):\n", min(top, len(routines)), len(routines))
+	fmt.Fprintf(&b, "  %%time      insts  routine\n")
+	for i, r := range routines {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(&b, "  %5.1f%% %10d  %-20s %#x..%#x\n",
+			100*float64(r.count)/float64(max(total, 1)), r.count, r.name, r.lo, r.hi)
+	}
+	fmt.Fprintf(&b, "\nhot blocks (top %d of %d):\n", min(top, len(blocks)), len(blocks))
+	fmt.Fprintf(&b, "  %%time      insts  block\n")
+	for i, r := range blocks {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(&b, "  %5.1f%% %10d  %-28s %#x..%#x (%d insts)\n",
+			100*float64(r.count)/float64(max(total, 1)), r.count, r.name, r.lo, r.hi, r.insts)
+	}
+	return b.String()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eelprof:", err)
+		os.Exit(1)
+	}
+}

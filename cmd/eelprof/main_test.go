@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"eel/internal/progen"
+)
+
+// TestProfileDeterministic proves the acceptance property: the same
+// progen workload produces a byte-identical profile report under the
+// translation-cache engine and the single-step interpreter, repeated
+// runs included, and regardless of analysis worker count.
+func TestProfileDeterministic(t *testing.T) {
+	cfg := progen.DefaultConfig(7)
+	cfg.Routines = 20
+	p := progen.MustGenerate(cfg)
+
+	// The "jit:" engine-stats line legitimately differs between the
+	// two engines (the interpreter builds no superblocks); everything
+	// else — the actual profile — must be byte-identical.
+	stripEngine := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "jit:") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+
+	var reports []string
+	for _, v := range []struct {
+		nojit bool
+		jobs  int
+	}{{false, 1}, {false, 4}, {true, 1}, {true, 4}} {
+		out, err := profileRun(p.File, "gen7", v.nojit, v.jobs, 8, 500_000_000)
+		if err != nil {
+			t.Fatalf("nojit=%v jobs=%d: %v", v.nojit, v.jobs, err)
+		}
+		reports = append(reports, out)
+	}
+	for i := 1; i < len(reports); i++ {
+		if stripEngine(reports[i]) != stripEngine(reports[0]) {
+			t.Fatalf("profile not deterministic:\n--- variant 0 ---\n%s\n--- variant %d ---\n%s",
+				reports[0], i, reports[i])
+		}
+	}
+
+	out := reports[0]
+	for _, want := range []string{"eelprof: gen7:", "hot routines", "hot blocks", "branches:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "after 0 instructions") {
+		t.Errorf("workload executed nothing:\n%s", out)
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	eelverify original edited
+//	eelverify [-metrics] [-trace FILE] [-pprof ADDR] original edited
 //	eelverify -gen 7 -instrument     (generate, instrument, verify)
 //
 // With -instrument, routine analysis runs on the concurrent
@@ -32,6 +32,7 @@ import (
 	"eel/internal/progen"
 	"eel/internal/qpt"
 	"eel/internal/sim"
+	"eel/internal/telemetry"
 )
 
 func main() {
@@ -41,7 +42,11 @@ func main() {
 	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print analysis pipeline statistics")
 	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	tool, err := tf.Start()
+	check(err)
 
 	var orig, edited *binfile.File
 	switch {
@@ -90,6 +95,8 @@ func main() {
 		o.ExitCode, o.InstCount, len(oOut), oRate)
 	fmt.Printf("edited:   exit %d, %d instructions, %d bytes output (%.2fx), %.0f insts/sec\n",
 		e.ExitCode, e.InstCount, len(eOut), float64(e.InstCount)/float64(max(1, o.InstCount)), eRate)
+
+	check(tool.Close(os.Stderr))
 
 	if o.ExitCode != e.ExitCode || !bytes.Equal(oOut, eOut) {
 		fmt.Println("VERIFY FAILED: behaviour diverged")

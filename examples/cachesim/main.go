@@ -17,6 +17,7 @@ import (
 	"eel/internal/activemem"
 	"eel/internal/progen"
 	"eel/internal/sim"
+	"eel/internal/telemetry"
 )
 
 func main() {
@@ -25,7 +26,12 @@ func main() {
 	lineBytes := flag.Int("line", 16, "cache line size")
 	sets := flag.Int("sets", 256, "direct-mapped sets")
 	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	tool, err := tf.Start()
+	check(err)
+	defer tool.Close(os.Stderr)
 
 	cfg := progen.DefaultConfig(*seed)
 	cfg.Routines = *routines

@@ -16,6 +16,7 @@ import (
 	"eel/internal/asm"
 	"eel/internal/sim"
 	"eel/internal/sparc"
+	"eel/internal/telemetry"
 )
 
 // program sums the integers 1..10 with a loop and reports whether
@@ -41,7 +42,12 @@ done:	mov 1, %g1
 
 func main() {
 	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	tool, err := tf.Start()
+	check(err)
+	defer tool.Close(os.Stderr)
 
 	// Assemble the demo program into an executable image.
 	prog, err := asm.Assemble(program, 0x10000)

@@ -19,6 +19,7 @@ import (
 	"eel/internal/machine"
 	"eel/internal/sim"
 	"eel/internal/sparc"
+	"eel/internal/telemetry"
 )
 
 // Segment geometry: stores are confined to [SegBase, SegBase+SegSize).
@@ -43,7 +44,12 @@ main:	set 0x400010, %l0
 
 func main() {
 	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	tool, err := tf.Start()
+	check(err)
+	defer tool.Close(os.Stderr)
 
 	prog, err := asm.Assemble(program, 0x10000)
 	check(err)

@@ -20,13 +20,19 @@ import (
 	"eel/internal/progen"
 	"eel/internal/sim"
 	"eel/internal/sparc"
+	"eel/internal/telemetry"
 )
 
 func main() {
 	seed := flag.Int64("seed", 4, "workload seed")
 	show := flag.Int("show", 12, "trace entries to print")
 	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	tool, err := tf.Start()
+	check(err)
+	defer tool.Close(os.Stderr)
 
 	cfg := progen.DefaultConfig(*seed)
 	cfg.Routines = 12

@@ -88,25 +88,32 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// get returns the cached bundle for k, counting a hit or miss.
-func (c *Cache) get(k Key) (*bundle, bool) {
+// get returns the cached bundle for k.  The hit or miss is counted
+// twice: on the cache's lifetime counters and on col's per-run
+// counters.  Attributing at the access (rather than differencing the
+// lifetime counters around a run) is what keeps concurrent AnalyzeAll
+// runs sharing one cache from claiming each other's traffic.
+func (c *Cache) get(k Key, col *collector) (*bundle, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
 		c.misses++
+		col.cacheMisses.Add(1)
 		return nil, false
 	}
 	c.hits++
+	col.cacheHits.Add(1)
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).b, true
 }
 
 // put stores b under k, evicting least-recently-used entries beyond
-// capacity.  Storing an existing key refreshes it (two workers racing
-// on identical routines both compute; the second store wins, which is
-// harmless since the bundles are equivalent).
-func (c *Cache) put(k Key, b *bundle) {
+// capacity; evictions are charged to col's run.  Storing an existing
+// key refreshes it (two workers racing on identical routines both
+// compute; the second store wins, which is harmless since the bundles
+// are equivalent).
+func (c *Cache) put(k Key, b *bundle, col *collector) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
@@ -123,6 +130,7 @@ func (c *Cache) put(k Key, b *bundle) {
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*lruEntry).key)
 		c.evictions++
+		col.cacheEvict.Add(1)
 	}
 }
 

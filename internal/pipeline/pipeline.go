@@ -28,6 +28,7 @@ import (
 	"eel/internal/cfg"
 	"eel/internal/core"
 	"eel/internal/dataflow"
+	"eel/internal/telemetry"
 )
 
 // Options configures AnalyzeAll.  The zero value asks for everything:
@@ -44,6 +45,19 @@ type Options struct {
 	NoLiveness   bool
 	NoDominators bool
 	NoLoops      bool
+
+	// Telemetry, when non-nil, receives this run's counters (under
+	// "pipeline.*" names) merged in at completion.  Counters are
+	// accumulated in a private per-run registry first, so concurrent
+	// AnalyzeAll runs never mix their numbers.  Nil defaults to the
+	// process-wide telemetry.Default() registry, which is itself nil
+	// (a no-op sink) unless telemetry was enabled.
+	Telemetry *telemetry.Registry
+	// Tracer receives structured spans: one per run, one per wave,
+	// and one per routine analysis (on the analyzing worker's track).
+	// Nil defaults to telemetry.ActiveTracer(), which is nil — and
+	// free — unless tracing was enabled.
+	Tracer *telemetry.Tracer
 }
 
 // RoutineAnalysis is one routine's immutable analysis bundle.  When
@@ -119,14 +133,17 @@ func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Exec: e, byRoutine: map[*core.Routine]*RoutineAnalysis{}}
-	col := &collector{}
+	col := newCollector()
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = telemetry.ActiveTracer()
+	}
+	runSpan := tracer.Begin("pipeline.AnalyzeAll", "pipeline")
 	start := time.Now()
 
 	var salt uint64
-	var hits0, misses0, evict0 uint64
 	if opts.Cache != nil {
-		timed(&col.hashNS, func() { salt = imageSalt(e) })
-		hits0, misses0, evict0 = opts.Cache.Counters()
+		timed(col.hashNS, func() { salt = imageSalt(e) })
 	}
 
 	// Waves: analyze every not-yet-analyzed routine, which may
@@ -150,6 +167,8 @@ func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
 		if waves > 1 {
 			discovered += len(pending)
 		}
+		waveSpan := tracer.Begin(fmt.Sprintf("wave %d", waves), "pipeline")
+		waveSpan.Arg("routines", len(pending))
 
 		out := make([]*RoutineAnalysis, len(pending))
 		jobs := make(chan int)
@@ -160,18 +179,25 @@ func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
 		}
 		for w := 0; w < n; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for idx := range jobs {
-					out[idx] = analyzeRoutine(e, pending[idx], opts, salt, col)
+					r := pending[idx]
+					sp := tracer.BeginTID("analyze "+r.Name, "routine", worker+1)
+					out[idx] = analyzeRoutine(e, r, opts, salt, col)
+					if out[idx].FromCache {
+						sp.Arg("cache", "hit")
+					}
+					sp.End()
 				}
-			}()
+			}(w)
 		}
 		for idx := range pending {
 			jobs <- idx
 		}
 		close(jobs)
 		wg.Wait()
+		waveSpan.End()
 
 		for i, r := range pending {
 			res.byRoutine[r] = out[i]
@@ -191,12 +217,27 @@ func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
 	res.Stats.Waves = waves
 	res.Stats.Wall = time.Since(start)
 	col.snapshot(&res.Stats)
+
+	runSpan.Arg("routines", res.Stats.Routines)
+	runSpan.Arg("waves", waves)
+	runSpan.Arg("workers", workers)
 	if opts.Cache != nil {
-		hits1, misses1, evict1 := opts.Cache.Counters()
-		res.Stats.CacheHits = hits1 - hits0
-		res.Stats.CacheMisses = misses1 - misses0
-		res.Stats.CacheEvictions = evict1 - evict0
+		runSpan.Arg("cache_hits", res.Stats.CacheHits)
+		runSpan.Arg("cache_misses", res.Stats.CacheMisses)
 	}
+	runSpan.End()
+
+	// Fold this run's private counters into the process-wide (or
+	// caller-supplied) registry.  Doing it once at run end keeps the
+	// workers' hot path free of global-registry traffic.
+	dst := opts.Telemetry
+	if dst == nil {
+		dst = telemetry.Default()
+	}
+	col.reg.AddTo(dst)
+	// Live gauges over the decoder's interning atomics; registering is
+	// idempotent (latest decoder wins) and snapshot-time only.
+	e.Dec.AttachTelemetry(dst)
 	return res, nil
 }
 
@@ -206,9 +247,9 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 	var key Key
 	keyOK := false
 	if opts.Cache != nil {
-		timed(&col.hashNS, func() { key, keyOK = routineKey(e, r, salt) })
+		timed(col.hashNS, func() { key, keyOK = routineKey(e, r, salt) })
 		if keyOK {
-			if b, hit := opts.Cache.get(key); hit && bundleCovers(b, opts) {
+			if b, hit := opts.Cache.get(key, col); hit && bundleCovers(b, opts) {
 				return adoptBundle(e, r, b, col)
 			}
 		}
@@ -218,7 +259,7 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 	a := &RoutineAnalysis{Routine: r}
 	var g *cfg.Graph
 	var err error
-	timed(&col.cfgNS, func() { g, err = r.ControlFlowGraph() })
+	timed(col.cfgNS, func() { g, err = r.ControlFlowGraph() })
 	if err != nil {
 		col.errs.Add(1)
 		a.Err = err
@@ -229,23 +270,24 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 	for _, b := range g.Blocks {
 		insts += int64(len(b.Insts))
 	}
-	col.insts.Add(insts)
-	col.blocks.Add(int64(len(g.Blocks)))
-	col.edges.Add(int64(len(g.Edges)))
+	col.insts.Add(uint64(insts))
+	col.blocks.Add(uint64(len(g.Blocks)))
+	col.edges.Add(uint64(len(g.Edges)))
+	col.routineInsts.Observe(uint64(insts))
 
 	if !opts.NoLiveness {
-		timed(&col.liveNS, func() {
+		timed(col.liveNS, func() {
 			a.Liveness = dataflow.ComputeLiveness(g, dataflow.DefaultExitLive())
 		})
 	}
 	if !opts.NoDominators || !opts.NoLoops {
 		var idom map[*cfg.Block]*cfg.Block
-		timed(&col.domNS, func() { idom = dataflow.Dominators(g) })
+		timed(col.domNS, func() { idom = dataflow.Dominators(g) })
 		if !opts.NoDominators {
 			a.IDom = idom
 		}
 		if !opts.NoLoops {
-			timed(&col.loopNS, func() { a.Loops = dataflow.NaturalLoops(g, idom) })
+			timed(col.loopNS, func() { a.Loops = dataflow.NaturalLoops(g, idom) })
 		}
 	}
 
@@ -266,15 +308,15 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 			// split.
 			b.tail = r.End
 		}
-		opts.Cache.put(key, b)
+		opts.Cache.put(key, b, col)
 		if b.tail != 0 {
 			// Also index by the shrunken extent, so re-analyzing this
 			// same (already split) executable still hits.
 			var postKey Key
 			var postOK bool
-			timed(&col.hashNS, func() { postKey, postOK = routineKey(e, r, salt) })
+			timed(col.hashNS, func() { postKey, postOK = routineKey(e, r, salt) })
 			if postOK {
-				opts.Cache.put(postKey, b)
+				opts.Cache.put(postKey, b, col)
 			}
 		}
 	}
@@ -305,9 +347,9 @@ func adoptBundle(e *core.Executable, r *core.Routine, b *bundle, col *collector)
 		e.RegisterHiddenTail(r, b.tail)
 	}
 	r.InstallGraph(b.graph)
-	col.insts.Add(b.insts)
-	col.blocks.Add(b.blocks)
-	col.edges.Add(b.edges)
+	col.insts.Add(uint64(b.insts))
+	col.blocks.Add(uint64(b.blocks))
+	col.edges.Add(uint64(b.edges))
 	return &RoutineAnalysis{
 		Routine:   r,
 		Graph:     b.graph,

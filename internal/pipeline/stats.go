@@ -3,8 +3,9 @@ package pipeline
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 	"time"
+
+	"eel/internal/telemetry"
 )
 
 // Stats summarizes one AnalyzeAll run: where the time went (per-stage
@@ -44,7 +45,9 @@ type Stats struct {
 	EdgesBuilt   int64
 
 	// Cache behaviour during this run (zero when no cache was
-	// supplied).  Evictions counts entries this run pushed out.
+	// supplied), counted per access against this run's own registry —
+	// concurrent runs sharing one cache each see exactly their own
+	// traffic.  Evictions counts entries this run pushed out.
 	CacheHits      uint64
 	CacheMisses    uint64
 	CacheEvictions uint64
@@ -97,29 +100,60 @@ func (s Stats) String() string {
 	return b.String()
 }
 
-// collector accumulates stage counters from concurrent workers; the
-// pipeline snapshots it into a Stats once the run completes.
+// collector is one run's private telemetry registry plus direct
+// handles to its hot counters.  Scoping the registry per run is what
+// makes concurrent AnalyzeAll calls attribute cache hits (and
+// everything else) to the right run: workers increment only their
+// run's counters, and Stats is a snapshot view of them.  At run end
+// the registry's totals are folded into the process-wide registry
+// (when one is enabled) under the same "pipeline.*" names.
 type collector struct {
-	cfgNS, liveNS, domNS, loopNS, hashNS atomic.Int64
-	insts, blocks, edges                 atomic.Int64
-	errs                                 atomic.Int64
+	reg *telemetry.Registry
+
+	cfgNS, liveNS, domNS, loopNS, hashNS *telemetry.Counter
+	insts, blocks, edges, errs           *telemetry.Counter
+	cacheHits, cacheMisses, cacheEvict   *telemetry.Counter
+	routineInsts                         *telemetry.Histogram
+}
+
+func newCollector() *collector {
+	reg := telemetry.New()
+	return &collector{
+		reg:          reg,
+		cfgNS:        reg.Counter("pipeline.cfg_ns"),
+		liveNS:       reg.Counter("pipeline.liveness_ns"),
+		domNS:        reg.Counter("pipeline.dominators_ns"),
+		loopNS:       reg.Counter("pipeline.loops_ns"),
+		hashNS:       reg.Counter("pipeline.hash_ns"),
+		insts:        reg.Counter("pipeline.insts_decoded"),
+		blocks:       reg.Counter("pipeline.blocks_built"),
+		edges:        reg.Counter("pipeline.edges_built"),
+		errs:         reg.Counter("pipeline.errors"),
+		cacheHits:    reg.Counter("pipeline.cache.hits"),
+		cacheMisses:  reg.Counter("pipeline.cache.misses"),
+		cacheEvict:   reg.Counter("pipeline.cache.evictions"),
+		routineInsts: reg.Histogram("pipeline.routine_insts"),
+	}
 }
 
 // timed runs f and adds its duration to the given nanosecond counter.
-func timed(ns *atomic.Int64, f func()) {
+func timed(ns *telemetry.Counter, f func()) {
 	t0 := time.Now()
 	f()
-	ns.Add(int64(time.Since(t0)))
+	ns.Add(uint64(time.Since(t0)))
 }
 
 func (c *collector) snapshot(s *Stats) {
-	s.CFGTime = time.Duration(c.cfgNS.Load())
-	s.LivenessTime = time.Duration(c.liveNS.Load())
-	s.DomTime = time.Duration(c.domNS.Load())
-	s.LoopTime = time.Duration(c.loopNS.Load())
-	s.HashTime = time.Duration(c.hashNS.Load())
-	s.InstsDecoded = c.insts.Load()
-	s.BlocksBuilt = c.blocks.Load()
-	s.EdgesBuilt = c.edges.Load()
-	s.Errors = int(c.errs.Load())
+	s.CFGTime = time.Duration(c.cfgNS.Value())
+	s.LivenessTime = time.Duration(c.liveNS.Value())
+	s.DomTime = time.Duration(c.domNS.Value())
+	s.LoopTime = time.Duration(c.loopNS.Value())
+	s.HashTime = time.Duration(c.hashNS.Value())
+	s.InstsDecoded = int64(c.insts.Value())
+	s.BlocksBuilt = int64(c.blocks.Value())
+	s.EdgesBuilt = int64(c.edges.Value())
+	s.Errors = int(c.errs.Value())
+	s.CacheHits = c.cacheHits.Value()
+	s.CacheMisses = c.cacheMisses.Value()
+	s.CacheEvictions = c.cacheEvict.Value()
 }

@@ -1,0 +1,140 @@
+package pipeline_test
+
+import (
+	"sync"
+	"testing"
+
+	"eel/internal/pipeline"
+	"eel/internal/telemetry"
+)
+
+// TestPerRunCacheAttribution reproduces the counter-misattribution
+// bug: concurrent AnalyzeAll runs sharing one cache used to compute
+// their Stats as deltas of the cache's lifetime counters, so one run
+// could absorb another's hits.  Per-run counting must give every run
+// exactly its own traffic, with the lifetime counters as the sum.
+func TestPerRunCacheAttribution(t *testing.T) {
+	files := corpus(t)
+	cache := pipeline.NewCache(0)
+
+	// Warm the cache sequentially so the concurrent phase is all hits.
+	warm := 0
+	for _, f := range files {
+		res, err := pipeline.AnalyzeAll(load(t, f), pipeline.Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm += res.Stats.Routines
+		if res.Stats.CacheHits != 0 {
+			t.Fatalf("cold run reported %d hits", res.Stats.CacheHits)
+		}
+		if int(res.Stats.CacheMisses) != res.Stats.Routines {
+			t.Fatalf("cold run: %d misses for %d routines", res.Stats.CacheMisses, res.Stats.Routines)
+		}
+	}
+
+	// Many concurrent warm runs over the shared cache.
+	const runs = 8
+	stats := make([]pipeline.Stats, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := files[i%len(files)]
+			res, err := pipeline.AnalyzeAll(load(t, f), pipeline.Options{Cache: cache, Workers: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			stats[i] = res.Stats
+		}(i)
+	}
+	wg.Wait()
+
+	var totalHits, totalMisses uint64
+	for i, s := range stats {
+		// Every warm run's traffic is exactly its own routine count,
+		// all hits — no bleed-through from the 7 sibling runs.
+		if int(s.CacheHits) != s.Routines || s.CacheMisses != 0 {
+			t.Errorf("run %d: hits=%d misses=%d for %d routines",
+				i, s.CacheHits, s.CacheMisses, s.Routines)
+		}
+		totalHits += s.CacheHits
+		totalMisses += s.CacheMisses
+	}
+
+	hits, misses, _ := cache.Counters()
+	if hits != totalHits || int(misses) != warm {
+		t.Errorf("lifetime counters (hits=%d misses=%d) != per-run sums (hits=%d) + warm misses (%d)",
+			hits, misses, totalHits, warm)
+	}
+}
+
+// TestPipelineTelemetryRegistry checks the per-run registry folds into
+// the caller-supplied one under "pipeline.*" names.
+func TestPipelineTelemetryRegistry(t *testing.T) {
+	f := corpus(t)[0]
+	reg := telemetry.New()
+	res, err := pipeline.AnalyzeAll(load(t, f), pipeline.Options{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["pipeline.insts_decoded"]; got != uint64(res.Stats.InstsDecoded) {
+		t.Errorf("pipeline.insts = %d, want %d", got, res.Stats.InstsDecoded)
+	}
+	if got := snap.Counters["pipeline.blocks_built"]; got != uint64(res.Stats.BlocksBuilt) {
+		t.Errorf("pipeline.blocks = %d, want %d", got, res.Stats.BlocksBuilt)
+	}
+	h, ok := snap.Histograms["pipeline.routine_insts"]
+	if !ok || int(h.Count) != res.Stats.Routines-res.Stats.Errors {
+		t.Errorf("pipeline.routine_insts count = %d, want %d analyzed routines",
+			h.Count, res.Stats.Routines-res.Stats.Errors)
+	}
+	// The decoder bridge surfaces interning stats as gauges.
+	if snap.Gauges["spawn.decodes"] <= 0 {
+		t.Errorf("spawn.decodes gauge = %d, want > 0", snap.Gauges["spawn.decodes"])
+	}
+
+	// A second executable's run merges additively into the same registry.
+	if _, err := pipeline.AnalyzeAll(load(t, f), pipeline.Options{Telemetry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := reg.Snapshot()
+	if got, want := snap2.Counters["pipeline.insts_decoded"], 2*uint64(res.Stats.InstsDecoded); got != want {
+		t.Errorf("after second run pipeline.insts = %d, want %d", got, want)
+	}
+}
+
+// TestPipelineTracer checks spans land on the configured tracer: one
+// run span, one per wave, one per routine.
+func TestPipelineTracer(t *testing.T) {
+	f := corpus(t)[0]
+	tr := telemetry.NewTracer()
+	res, err := pipeline.AnalyzeAll(load(t, f), pipeline.Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSpans, waveSpans, routineSpans := 0, 0, 0
+	for _, ev := range tr.Events() {
+		switch {
+		case ev.Name == "pipeline.AnalyzeAll":
+			runSpans++
+		case ev.Cat == "pipeline":
+			waveSpans++
+		case ev.Cat == "routine":
+			routineSpans++
+		}
+	}
+	if runSpans != 1 {
+		t.Errorf("run spans = %d, want 1", runSpans)
+	}
+	if waveSpans != res.Stats.Waves {
+		t.Errorf("wave spans = %d, want %d", waveSpans, res.Stats.Waves)
+	}
+	if routineSpans != res.Stats.Routines {
+		t.Errorf("routine spans = %d, want %d", routineSpans, res.Stats.Routines)
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"eel/internal/progen"
+)
+
+// TestResetCounters covers the per-run JIT accounting fix: a reused
+// CPU accumulated builds/flushes/deopts across Run invocations, so a
+// second run's numbers included the first's.  ResetCounters gives
+// callers a clean baseline without discarding cached translations.
+func TestResetCounters(t *testing.T) {
+	p := progen.MustGenerate(progen.DefaultConfig(3))
+
+	cpu := LoadFile(p.File, nil)
+	if err := cpu.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	first := cpu.Counters()
+	if first.Builds == 0 {
+		t.Fatalf("first run built no superblocks: %+v", first)
+	}
+	if first.Insts != cpu.InstCount {
+		t.Fatalf("Counters().Insts = %d, want InstCount %d", first.Insts, cpu.InstCount)
+	}
+
+	// Without a reset, a second run on the reused CPU starts from the
+	// first run's JIT totals (the bug this API fixes).
+	cpu.ResetCounters()
+	after := cpu.Counters()
+	if after.Builds != 0 || after.Flushes != 0 || after.Deopts != 0 {
+		t.Fatalf("ResetCounters left JIT counters nonzero: %+v", after)
+	}
+
+	// Rerun the same program: translations were kept (Reset below
+	// invalidates, so rebuild counts are fresh) and the counters now
+	// describe only this run.
+	cpu.Reset(p.File.Entry, DefaultStack)
+	cpu.ResetCounters() // Reset's own invalidation counts as a flush; start clean
+	if err := cpu.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	second := cpu.Counters()
+	if second.Builds == 0 {
+		t.Fatalf("second run built no superblocks: %+v", second)
+	}
+	if second.Builds > first.Builds {
+		t.Fatalf("second run reports more builds (%d) than a full cold run (%d)",
+			second.Builds, first.Builds)
+	}
+	if second.Flushes != 0 {
+		t.Fatalf("second run reports stale flushes: %+v", second)
+	}
+}
+
+// TestCountersDeopt checks the deopt counter stays zero on a fully
+// translatable workload: deopts only happen when a pc has no
+// translation, which progen programs never produce.
+func TestCountersDeopt(t *testing.T) {
+	p := progen.MustGenerate(progen.DefaultConfig(3))
+	cpu := LoadFile(p.File, nil)
+	if err := cpu.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if k := cpu.Counters(); k.Deopts != 0 {
+		t.Fatalf("fully translatable workload reported %d deopts", k.Deopts)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"eel/internal/machine"
 	"eel/internal/rtl"
 	"eel/internal/spawn"
+	"eel/internal/telemetry"
 )
 
 const (
@@ -56,9 +57,12 @@ type transCache struct {
 	entries [tcEntries]*tblock
 	gen     uint64
 
-	// counters for introspection and tests.
+	// counters for introspection and tests (see CPU.Counters and
+	// CPU.ResetCounters; a reused CPU carries them across Run calls
+	// until explicitly reset).
 	builds  uint64
 	flushes uint64
+	deopts  uint64
 }
 
 func tcIndex(pc uint32) uint32 { return (pc >> 2) & (tcEntries - 1) }
@@ -76,6 +80,7 @@ func (c *CPU) InvalidateText() {
 	for i := range c.tc.entries {
 		c.tc.entries[i] = nil
 	}
+	telemetry.ActiveTracer().Instant("sim.jit.invalidate", "sim")
 }
 
 // TranslationStats reports translation-cache activity: superblocks
@@ -174,6 +179,9 @@ func (c *CPU) runBlock(b *tblock, maxSteps uint64) error {
 			return &Fault{c.PC, err}
 		}
 		c.InstCount++
+		if c.prof != nil {
+			c.prof.record(c.PC, ci.inst, c.hasImmediate || c.hasDelayed)
+		}
 		if c.Halted {
 			return nil
 		}

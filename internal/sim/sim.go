@@ -16,6 +16,7 @@ import (
 	"eel/internal/machine"
 	"eel/internal/rtl"
 	"eel/internal/spawn"
+	"eel/internal/telemetry"
 )
 
 // System-call numbers (in %g1 when executing "ta 0").
@@ -235,7 +236,15 @@ type CPU struct {
 
 	// tc is the translation-cache engine state (see jit.go).
 	tc *transCache
+
+	// prof, when non-nil, accumulates per-pc hotness and branch/trap
+	// counters (see profile.go); both engines feed it.
+	prof *Profile
 }
+
+// Decoder returns the CPU's instruction decoder (e.g. to bridge its
+// interning statistics into a telemetry registry).
+func (c *CPU) Decoder() *spawn.TableDecoder { return c.dec }
 
 // New returns a CPU using dec (which must be a SPARC-shaped
 // description: integer file "R" with Y/PSR/FSR aliases).
@@ -314,6 +323,9 @@ func (c *CPU) Step() error {
 		return &Fault{c.PC, err}
 	}
 	c.InstCount++
+	if c.prof != nil {
+		c.prof.record(c.PC, inst, c.hasImmediate || c.hasDelayed)
+	}
 	if c.Halted {
 		return nil
 	}
@@ -343,12 +355,82 @@ func (c *CPU) finishStep(annulBefore bool) {
 	}
 }
 
+// Counters is a snapshot of the CPU's activity counters: architected
+// execution counts plus translation-cache activity.
+type Counters struct {
+	Insts   uint64 // executed (non-annulled) instructions
+	Annuls  uint64 // annulled (skipped) delay slots
+	Builds  uint64 // superblocks translated
+	Flushes uint64 // whole-cache invalidations
+	Deopts  uint64 // interpreted steps taken because the pc had no translation
+}
+
+// Counters returns the current counter snapshot.
+func (c *CPU) Counters() Counters {
+	k := Counters{Insts: c.InstCount, Annuls: c.AnnulCount}
+	if c.tc != nil {
+		k.Builds, k.Flushes, k.Deopts = c.tc.builds, c.tc.flushes, c.tc.deopts
+	}
+	return k
+}
+
+// ResetCounters zeroes the translation-cache activity counters —
+// builds, flushes, deopts — without discarding cached translations.
+// A reused CPU otherwise accumulates them across Run invocations
+// (Reset zeroes only the architected InstCount/AnnulCount state),
+// which made per-run JIT accounting wrong.
+func (c *CPU) ResetCounters() {
+	if c.tc != nil {
+		c.tc.builds, c.tc.flushes, c.tc.deopts = 0, 0, 0
+	}
+}
+
 // Run executes until halt or maxSteps instructions.  Unless NoJIT is
 // set (or OnExec demands single-step observation), execution goes
 // through the translation cache: straight-line runs of text compile
 // once into superblocks that execute without per-step decode or AST
 // dispatch, falling back to Step for anything unusual.
+//
+// When process-wide telemetry is enabled, the run is traced as a
+// "sim.Run" span and its counter deltas are added to the registry
+// under "sim.*" names; when disabled, Run pays two atomic loads.
 func (c *CPU) Run(maxSteps uint64) error {
+	tracer := telemetry.ActiveTracer()
+	reg := telemetry.Default()
+	var before Counters
+	if tracer != nil || reg != nil {
+		before = c.Counters()
+	}
+	span := tracer.Begin("sim.Run", "sim")
+
+	err := c.run(maxSteps)
+
+	if tracer != nil || reg != nil {
+		after := c.Counters()
+		d := Counters{
+			Insts:   after.Insts - before.Insts,
+			Annuls:  after.Annuls - before.Annuls,
+			Builds:  after.Builds - before.Builds,
+			Flushes: after.Flushes - before.Flushes,
+			Deopts:  after.Deopts - before.Deopts,
+		}
+		span.Arg("insts", d.Insts)
+		span.Arg("jit_builds", d.Builds)
+		span.Arg("jit_deopts", d.Deopts)
+		if reg != nil {
+			reg.Counter("sim.insts").Add(d.Insts)
+			reg.Counter("sim.annuls").Add(d.Annuls)
+			reg.Counter("sim.jit.builds").Add(d.Builds)
+			reg.Counter("sim.jit.flushes").Add(d.Flushes)
+			reg.Counter("sim.jit.deopts").Add(d.Deopts)
+		}
+	}
+	span.End()
+	return err
+}
+
+// run is Run's engine loop, free of telemetry bookkeeping.
+func (c *CPU) run(maxSteps uint64) error {
 	useJIT := !c.NoJIT && c.TextEnd > c.TextStart
 	for !c.Halted {
 		if c.InstCount >= maxSteps {
@@ -363,11 +445,16 @@ func (c *CPU) Run(maxSteps uint64) error {
 		b := c.block(c.PC)
 		if len(b.insts) == 0 {
 			// Unbuildable here (faulting pc, rare op): one interpreted
-			// step surfaces the identical behaviour or fault.
+			// step surfaces the identical behaviour or fault — a
+			// deoptimization, counted as such.
+			c.tc.deopts++
 			if err := c.Step(); err != nil {
 				return err
 			}
 			continue
+		}
+		if c.prof != nil {
+			c.prof.blockEnters[b.pc]++
 		}
 		if err := c.runBlock(b, maxSteps); err != nil {
 			return err

@@ -123,6 +123,20 @@ func TestSubstRegsSimultaneous(t *testing.T) {
 	}
 }
 
+func TestSubstRegTrapCondUntouched(t *testing.T) {
+	// ta's rd bit positions hold the trap condition, and the syscall
+	// convention's registers (%g1 in, %o0 out) are not named by any
+	// field — substituting them must leave the word alone.  (0x91d025c1
+	// is ta with cond=always; rewriting "rd" 8→1 turned it into an
+	// undecodable word.)
+	const ta = uint32(0x91d025c1)
+	for _, r := range []machine.Reg{1, 8} {
+		if got := SubstReg(ta, r, 20); got != ta {
+			t.Errorf("SubstReg(ta, %d, 20) = %#x, want unchanged %#x", r, got, ta)
+		}
+	}
+}
+
 // TestSubstRegSemanticsPreserved: substituting a register that the
 // instruction does not mention leaves decode-visible behaviour
 // identical.

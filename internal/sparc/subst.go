@@ -61,7 +61,14 @@ func SubstRegs(word uint32, assign map[machine.Reg]machine.Reg) uint32 {
 		return word // floating-point operate
 	case op == 2 || op == 3:
 		w := word
-		if !(op == 3 && (op3 == 0b100000 || op3 == 0b100100)) { // not ldf/stf
+		switch {
+		case op == 3 && (op3 == 0b100000 || op3 == 0b100100):
+			// ldf/stf: rd names a floating-point register
+		case op == 2 && op3 == 0b111010:
+			// ticc: the rd bit positions hold the trap condition, and
+			// the registers the trap convention reads/writes (%g1,
+			// %o0-%o3) are not named by any field
+		default:
 			w = sub(w, "rd")
 		}
 		w = sub(w, "rs1")

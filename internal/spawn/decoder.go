@@ -7,6 +7,7 @@ import (
 
 	"eel/internal/machine"
 	"eel/internal/rtl"
+	"eel/internal/telemetry"
 )
 
 // Glue is the hand-written, machine-specific refinement hook (the Go
@@ -106,6 +107,18 @@ func (t *TableDecoder) SharingStats() (decodes, unique uint64) {
 	return t.decodes.Load(), t.unique.Load()
 }
 
+// AttachTelemetry surfaces the decoder's sharing counters in reg as
+// live gauges ("spawn.decodes", "spawn.interned") without adding any
+// cost to the Decode hot path: the existing atomics are sampled only
+// when the registry takes a snapshot.
+func (t *TableDecoder) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("spawn.decodes", func() int64 { return int64(t.decodes.Load()) })
+	reg.GaugeFunc("spawn.interned", func() int64 { return int64(t.unique.Load()) })
+}
+
 // ResetStats clears decode counters and the intern cache.
 func (t *TableDecoder) ResetStats() {
 	t.decodes.Store(0)
@@ -178,8 +191,13 @@ func (s *InstSem) Compiled() (*rtl.Prog, error) {
 	if cs := s.compiled.Load(); cs != nil {
 		return cs.prog, cs.err
 	}
+	// Slow path, taken once per distinct word: worth a trace span and
+	// a registry tick so JIT warm-up is visible in -trace output.
+	sp := telemetry.ActiveTracer().Begin("rtl.compile "+s.Def.Name, "rtl")
 	cs := &compiledSem{}
 	cs.prog, cs.err = rtl.Compile(s.Def.Sem, semCompileEnv{s})
+	sp.End()
+	telemetry.Default().Counter("rtl.compiles").Add(1)
 	s.compiled.Store(cs)
 	return cs.prog, cs.err
 }

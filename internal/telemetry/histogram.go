@@ -1,0 +1,112 @@
+package telemetry
+
+import "sync/atomic"
+
+// histBuckets is one bucket per possible bit length of a uint64 value
+// plus one for zero: bucket 0 holds the value 0, bucket i (i >= 1)
+// holds values in [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Histogram is a log-scale (power-of-two bucket) histogram of uint64
+// samples — hotness counts, sizes, durations in nanoseconds.  Buckets
+// are atomic, so concurrent Observe calls never lock; a nil Histogram
+// discards samples.  The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// bucketFor returns the bucket index for v: 0 for 0, otherwise the
+// bit length of v (so 1 → 1, 2..3 → 2, 4..7 → 3, ...).
+func bucketFor(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// BucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	if i >= 64 {
+		return 1 << 63, ^uint64(0)
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Observe records one sample.  Safe for concurrent use; a no-op on a
+// nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// HistBucket is one non-empty bucket in a snapshot.
+type HistBucket struct {
+	// Bucket is the bucket index; Lo/Hi its inclusive value range.
+	Bucket int    `json:"bucket"`
+	Lo     uint64 `json:"lo"`
+	Hi     uint64 `json:"hi"`
+	Count  uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's non-empty buckets, total count, sum
+// and max.  A nil histogram snapshots empty.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		s.Buckets = append(s.Buckets, HistBucket{Bucket: i, Lo: lo, Hi: hi, Count: n})
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// observeBucket adds count samples directly to bucket i (used by
+// Registry.AddTo to merge histograms; sum/max are approximated by the
+// bucket's lower bound, which preserves the shape merges care about).
+func (h *Histogram) observeBucket(i int, count uint64) {
+	if h == nil || i < 0 || i >= histBuckets || count == 0 {
+		return
+	}
+	h.buckets[i].Add(count)
+	lo, _ := BucketBounds(i)
+	h.sum.Add(lo * count)
+	for {
+		old := h.max.Load()
+		if lo <= old || h.max.CompareAndSwap(old, lo) {
+			break
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package telemetry is the repository's unified observability layer:
+// a process-wide metrics registry (sharded atomic counters, gauges,
+// log-scale histograms) with named registration, snapshot, and JSON
+// export, plus span-based structured tracing that emits Chrome
+// trace-event JSON (see trace.go).  Every layer of the stack — the
+// analysis pipeline, the spawn decoder, the rtl compiler, and the
+// emulator — reports through it, so one run's numbers correlate
+// across layers instead of living in incompatible ad-hoc Stats
+// structs.
+//
+// The package is dependency-free (standard library only) and designed
+// to cost nothing when unused: a nil *Registry hands out nil
+// instruments, and Add/Set/Observe on a nil instrument is a
+// single-branch no-op with zero allocations (the "nil sink";
+// BenchmarkDisabledSink asserts it).  Enabled counters are sharded
+// across cache-line-padded atomics so concurrent writers from the
+// pipeline's worker pool do not serialize on one hot word.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// counterShards is the number of cache-line-padded stripes per
+// counter.  Writers pick a stripe with a cheap per-thread random, so
+// contention drops roughly by this factor; readers sum all stripes.
+const counterShards = 8
+
+// shard is one cache-line-padded atomic stripe.
+type shard struct {
+	v atomic.Uint64
+	_ [56]byte // pad to 64 bytes so stripes never share a line
+}
+
+// Counter is a monotonically increasing, sharded atomic counter.  The
+// zero value is ready to use; a nil Counter discards updates.
+type Counter struct {
+	shards [counterShards]shard
+}
+
+// Add increments the counter by n.  Safe for concurrent use; a no-op
+// on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[rand.Uint32()%counterShards].v.Add(n)
+}
+
+// Value returns the current total (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value.  A nil Gauge discards
+// updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v; a no-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta; a no-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of instruments.  All methods are
+// safe for concurrent use, and every method on a nil *Registry
+// returns a nil instrument (whose updates are discarded), so code can
+// hold an optional registry without branching at each call site.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		funcs:    map[string]func() int64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers fn as a read-only gauge evaluated at snapshot
+// time — the bridge that lets pre-existing atomic counters (decoder
+// interning stats, emulator counters) surface in the registry without
+// touching their hot paths.  Re-registering a name replaces the
+// function.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Histogram returns the named log-scale histogram, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument's value.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument.  GaugeFuncs are evaluated
+// outside the registry lock (they may read foreign state).  A nil
+// registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, fn := range funcs {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// AddTo folds r's counter and histogram totals into dst under the
+// same names (per-run registries use it to contribute to the
+// process-wide one).  Gauges and gauge funcs are skipped: they are
+// instantaneous, not additive.
+func (r *Registry) AddTo(dst *Registry) {
+	if r == nil || dst == nil {
+		return
+	}
+	s := r.Snapshot()
+	for name, v := range s.Counters {
+		if v != 0 {
+			dst.Counter(name).Add(v)
+		}
+	}
+	for name, hs := range s.Histograms {
+		dh := dst.Histogram(name)
+		for _, b := range hs.Buckets {
+			dh.observeBucket(b.Bucket, b.Count)
+		}
+	}
+}
+
+// WriteJSON writes the registry snapshot as deterministic (sorted-key)
+// indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	// encoding/json sorts map keys, so the output is deterministic
+	// for a given snapshot.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// String renders a compact sorted name=value dump, histograms as
+// count/sum/max.
+func (s Snapshot) String() string {
+	type kv struct {
+		k string
+		v string
+	}
+	var rows []kv
+	for k, v := range s.Counters {
+		rows = append(rows, kv{k, fmt.Sprintf("%d", v)})
+	}
+	for k, v := range s.Gauges {
+		rows = append(rows, kv{k, fmt.Sprintf("%d", v)})
+	}
+	for k, h := range s.Histograms {
+		rows = append(rows, kv{k, fmt.Sprintf("count=%d sum=%d max=%d", h.Count, h.Sum, h.Max)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	out := ""
+	for _, r := range rows {
+		out += r.k + " = " + r.v + "\n"
+	}
+	return out
+}
+
+// global is the process-wide registry; nil until Enable.
+var global atomic.Pointer[Registry]
+
+// Default returns the process-wide registry, or nil when telemetry is
+// disabled.  Callers pass the result straight to Counter/Gauge/
+// Histogram — the nil sink absorbs everything when disabled.
+func Default() *Registry { return global.Load() }
+
+// Enable installs (idempotently) and returns the process-wide
+// registry.
+func Enable() *Registry {
+	for {
+		if r := global.Load(); r != nil {
+			return r
+		}
+		r := New()
+		if global.CompareAndSwap(nil, r) {
+			return r
+		}
+	}
+}
+
+// Disable removes the process-wide registry; subsequent Default calls
+// return nil and instrument updates become no-ops for new lookups.
+func Disable() { global.Store(nil) }

@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// lookups and updates interleaved — and checks the totals.  Run under
+// -race this is the package's data-race proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const rounds = 1000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r.Counter("shared").Add(1)
+				r.Counter("shared").Add(2)
+				r.Gauge("level").Set(int64(g))
+				r.Histogram("sizes").Observe(uint64(i))
+				if i%100 == 0 {
+					r.Snapshot() // concurrent readers too
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := r.Counter("shared").Value(), uint64(goroutines*rounds*3); got != want {
+		t.Errorf("counter total = %d, want %d", got, want)
+	}
+	hs := r.Histogram("sizes").Snapshot()
+	if got, want := hs.Count, uint64(goroutines*rounds); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if hs.Max != rounds-1 {
+		t.Errorf("histogram max = %d, want %d", hs.Max, rounds-1)
+	}
+	if lv := r.Gauge("level").Value(); lv < 0 || lv >= goroutines {
+		t.Errorf("gauge = %d, want one of the writers' values", lv)
+	}
+}
+
+// TestNilSink covers the disabled fast path: every instrument handed
+// out by a nil registry absorbs updates and reads as zero.
+func TestNilSink(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(9)
+	r.GaugeFunc("f", func() int64 { return 1 })
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter reads %d", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge reads %d", v)
+	}
+	if s := r.Histogram("h").Snapshot(); s.Count != 0 {
+		t.Errorf("nil histogram counts %d", s.Count)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %v", s)
+	}
+	r.AddTo(New()) // must not panic
+	New().AddTo(r) // nor this
+}
+
+// TestHistogramBuckets pins the log-scale bucket boundaries: value 0
+// in bucket 0, and each power-of-two range [2^(i-1), 2^i-1] in bucket
+// i, for the edges that matter.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{255, 8}, {256, 9},
+		{1 << 62, 63}, {1<<63 - 1, 63},
+		{1 << 63, 64}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.bucket {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if c.v < lo || c.v > hi {
+			t.Errorf("value %d outside BucketBounds(%d) = [%d, %d]", c.v, c.bucket, lo, hi)
+		}
+	}
+
+	var h Histogram
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("snapshot count = %d, want %d", s.Count, len(cases))
+	}
+	if s.Max != ^uint64(0) {
+		t.Errorf("snapshot max = %d, want %d", s.Max, uint64(^uint64(0)))
+	}
+	for _, b := range s.Buckets {
+		if b.Lo > b.Hi {
+			t.Errorf("bucket %d has inverted bounds [%d, %d]", b.Bucket, b.Lo, b.Hi)
+		}
+	}
+}
+
+// TestAddTo checks per-run → process-wide folding: counters sum, and
+// merged histograms preserve bucket shape.
+func TestAddTo(t *testing.T) {
+	dst := New()
+	dst.Counter("n").Add(10)
+	src := New()
+	src.Counter("n").Add(5)
+	src.Counter("only-src").Add(1)
+	src.Histogram("h").Observe(100)
+	src.Histogram("h").Observe(100)
+	src.Gauge("g").Set(3)
+
+	src.AddTo(dst)
+
+	if got := dst.Counter("n").Value(); got != 15 {
+		t.Errorf("merged counter = %d, want 15", got)
+	}
+	if got := dst.Counter("only-src").Value(); got != 1 {
+		t.Errorf("new counter = %d, want 1", got)
+	}
+	hs := dst.Histogram("h").Snapshot()
+	if hs.Count != 2 || len(hs.Buckets) != 1 || hs.Buckets[0].Bucket != bucketFor(100) {
+		t.Errorf("merged histogram shape wrong: %+v", hs)
+	}
+	if _, ok := dst.Snapshot().Gauges["g"]; ok {
+		t.Error("AddTo copied a gauge; gauges are not additive")
+	}
+}
+
+// TestWriteJSONDeterministic checks the export is stable and decodes
+// back to the same snapshot values.
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("g").Set(-4)
+	r.Histogram("h").Observe(3)
+
+	var one, two bytes.Buffer
+	if err := r.WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Errorf("exports differ:\n%s\n%s", one.String(), two.String())
+	}
+
+	var s Snapshot
+	if err := json.Unmarshal(one.Bytes(), &s); err != nil {
+		t.Fatalf("export does not decode: %v", err)
+	}
+	if s.Counters["a"] != 1 || s.Counters["b"] != 2 || s.Gauges["g"] != -4 {
+		t.Errorf("decoded snapshot wrong: %+v", s)
+	}
+	if s.Histograms["h"].Count != 1 {
+		t.Errorf("decoded histogram wrong: %+v", s.Histograms["h"])
+	}
+
+	str := r.Snapshot().String()
+	for _, want := range []string{"a = 1", "b = 2", "g = -4", "count=1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+}
+
+// TestEnableDisable covers the process-wide registry lifecycle.
+func TestEnableDisable(t *testing.T) {
+	Disable()
+	if Default() != nil {
+		t.Fatal("Default not nil after Disable")
+	}
+	r1 := Enable()
+	if r1 == nil || Default() != r1 {
+		t.Fatal("Enable did not install a registry")
+	}
+	if r2 := Enable(); r2 != r1 {
+		t.Fatal("Enable not idempotent")
+	}
+	Disable()
+	if Default() != nil {
+		t.Fatal("Disable did not clear the registry")
+	}
+}
+
+// BenchmarkDisabledSink measures the nil-sink fast path (registry
+// lookup excluded, as instrumented code holds the instrument): it must
+// not allocate.
+func BenchmarkDisabledSink(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(uint64(i))
+		sp := tr.Begin("x", "y")
+		sp.End()
+	}
+	if testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		h.Observe(3)
+		sp := tr.Begin("x", "y")
+		sp.End()
+	}) != 0 {
+		b.Fatal("disabled telemetry allocates")
+	}
+}
+
+// BenchmarkCounterAdd measures the enabled sharded-counter hot path.
+func BenchmarkCounterAdd(b *testing.B) {
+	r := New()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	_ = c.Value()
+}

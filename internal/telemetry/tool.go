@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the standard profiling handlers
+	"os"
+	"sync"
+)
+
+// ToolFlags carries the observability flags shared by every CLI tool
+// and example: -metrics (print the registry at exit), -trace FILE
+// (write a Chrome trace-event JSON file), and -pprof ADDR (serve
+// net/http/pprof and expvar, with the registry published as the
+// "eel" expvar).
+type ToolFlags struct {
+	Metrics   bool
+	TracePath string
+	PprofAddr string
+}
+
+// AddFlags registers the shared observability flags on fs (pass
+// flag.CommandLine for the default set) and returns the destination
+// struct to Start after parsing.
+func AddFlags(fs *flag.FlagSet) *ToolFlags {
+	tf := &ToolFlags{}
+	fs.BoolVar(&tf.Metrics, "metrics", false, "print the telemetry metrics registry at exit")
+	fs.StringVar(&tf.TracePath, "trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
+	fs.StringVar(&tf.PprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return tf
+}
+
+// Tool is a started observability session; Close it before exit.
+type Tool struct {
+	Registry *Registry
+	Tracer   *Tracer
+	flags    *ToolFlags
+}
+
+// expvarOnce guards the process-wide expvar publication (expvar
+// panics on duplicate names).
+var expvarOnce sync.Once
+
+// Start activates whatever the parsed flags asked for: the
+// process-wide registry for -metrics or -pprof, the process-wide
+// tracer for -trace, and the pprof/expvar HTTP server for -pprof.
+// With no flags set it does nothing and Close is a no-op, so tools
+// can call it unconditionally.
+func (tf *ToolFlags) Start() (*Tool, error) {
+	t := &Tool{flags: tf}
+	if tf.Metrics || tf.PprofAddr != "" {
+		t.Registry = Enable()
+	}
+	if tf.TracePath != "" {
+		t.Tracer = NewTracer()
+		SetTracer(t.Tracer)
+	}
+	if tf.PprofAddr != "" {
+		expvarOnce.Do(func() {
+			expvar.Publish("eel", expvar.Func(func() any { return Default().Snapshot() }))
+		})
+		ln := tf.PprofAddr
+		go func() {
+			// The server lives for the process; an unusable address is
+			// reported but not fatal (the tool's real work proceeds).
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return t, nil
+}
+
+// Close flushes the session: the trace file is written and the
+// metrics snapshot printed to w (stderr in the tools).  Safe to call
+// when nothing was enabled.
+func (t *Tool) Close(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	var firstErr error
+	if t.Tracer != nil {
+		SetTracer(nil)
+		if err := t.Tracer.WriteFile(t.flags.TracePath); err != nil {
+			firstErr = err
+		} else if w != nil {
+			fmt.Fprintf(w, "telemetry: wrote trace to %s (load in chrome://tracing)\n", t.flags.TracePath)
+		}
+	}
+	if t.flags.Metrics && t.Registry != nil && w != nil {
+		fmt.Fprintln(w, "telemetry metrics:")
+		if err := t.Registry.WriteJSON(w); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one Chrome trace-event record (the JSON object format the
+// chrome://tracing and Perfetto viewers load).  Ph "X" is a complete
+// span (ts + dur), "i" an instant, "M" metadata.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates trace events.  All methods are safe for
+// concurrent use, and every method on a nil *Tracer is a no-op, so
+// instrumented code paths pay one branch when tracing is off.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns a tracer whose timestamps are microseconds since
+// this call.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Span is an in-progress trace span returned by Begin.  The zero Span
+// (from a nil tracer) is valid and End on it is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	begin time.Duration
+	args  map[string]any
+}
+
+// Begin opens a span on virtual thread 0.  End it to record.
+func (t *Tracer) Begin(name, cat string) Span { return t.BeginTID(name, cat, 0) }
+
+// BeginTID opens a span on the given virtual thread id — concurrent
+// workers use distinct tids so the viewer lays their spans out on
+// separate tracks.
+func (t *Tracer) BeginTID(name, cat string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, begin: time.Since(t.start)}
+}
+
+// Arg attaches a key/value argument to the span (shown in the
+// viewer's detail pane).  No-op on a zero Span.
+func (s *Span) Arg(key string, value any) {
+	if s.t == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = value
+}
+
+// End records the span as a complete ("X") event.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := time.Since(s.t.start)
+	s.t.append(Event{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   float64(s.begin.Nanoseconds()) / 1e3,
+		Dur:  float64((end - s.begin).Nanoseconds()) / 1e3,
+		PID:  1,
+		TID:  s.tid,
+		Args: s.args,
+	})
+}
+
+// Instant records a point-in-time ("i") event on virtual thread 0.
+func (t *Tracer) Instant(name, cat string) { t.InstantTID(name, cat, 0, nil) }
+
+// InstantTID records an instant event with optional args on the given
+// virtual thread.
+func (t *Tracer) InstantTID(name, cat string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(Event{
+		Name: name,
+		Cat:  cat,
+		Ph:   "i",
+		TS:   float64(time.Since(t.start).Nanoseconds()) / 1e3,
+		PID:  1,
+		TID:  tid,
+		S:    "t",
+		Args: args,
+	})
+}
+
+func (t *Tracer) append(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// traceFile is the on-disk shape: the Chrome trace-event "JSON object
+// format", loadable by chrome://tracing and ui.perfetto.dev.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Encode serializes the trace in Chrome trace-event JSON object
+// format.
+func (t *Tracer) Encode(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// activeTracer is the process-wide tracer; nil when tracing is off.
+var activeTracer atomic.Pointer[Tracer]
+
+// ActiveTracer returns the process-wide tracer, or nil.  Instrumented
+// code calls Begin/Instant on the result directly — the nil receiver
+// no-ops.
+func ActiveTracer() *Tracer { return activeTracer.Load() }
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer.
+func SetTracer(t *Tracer) { activeTracer.Store(t) }

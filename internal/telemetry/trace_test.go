@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestTraceRoundTrip records spans and instants, encodes the Chrome
+// trace-event JSON, and decodes it back with plain encoding/json — the
+// same parse any trace viewer performs.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+
+	sp := tr.Begin("pipeline.AnalyzeAll", "pipeline")
+	sp.Arg("routines", 40)
+	inner := tr.BeginTID("analyze main", "routine", 3)
+	inner.End()
+	tr.Instant("sim.jit.invalidate", "sim")
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not decode: %v\n%s", err, buf.String())
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(decoded.TraceEvents))
+	}
+
+	byName := map[string]int{}
+	for i, ev := range decoded.TraceEvents {
+		byName[ev.Name] = i
+		if ev.PID != 1 {
+			t.Errorf("event %q pid = %d, want 1", ev.Name, ev.PID)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %q has negative time: ts=%v dur=%v", ev.Name, ev.TS, ev.Dur)
+		}
+	}
+
+	outer := decoded.TraceEvents[byName["pipeline.AnalyzeAll"]]
+	if outer.Ph != "X" || outer.Cat != "pipeline" {
+		t.Errorf("outer span malformed: %+v", outer)
+	}
+	if got, ok := outer.Args["routines"].(float64); !ok || got != 40 {
+		t.Errorf("outer span args = %v, want routines=40", outer.Args)
+	}
+
+	in := decoded.TraceEvents[byName["analyze main"]]
+	if in.TID != 3 {
+		t.Errorf("worker span tid = %d, want 3", in.TID)
+	}
+	// The inner span is fully contained in the outer one.
+	if in.TS < outer.TS || in.TS+in.Dur > outer.TS+outer.Dur+0.5 {
+		t.Errorf("inner span [%v, %v] escapes outer [%v, %v]",
+			in.TS, in.TS+in.Dur, outer.TS, outer.TS+outer.Dur)
+	}
+
+	instant := decoded.TraceEvents[byName["sim.jit.invalidate"]]
+	if instant.Ph != "i" {
+		t.Errorf("instant ph = %q, want i", instant.Ph)
+	}
+}
+
+// TestTracerNil checks the disabled-tracing no-ops, including the zero
+// Span a nil tracer hands out.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", "y")
+	sp.Arg("k", 1)
+	sp.End()
+	tr.Instant("z", "y")
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil tracer recorded %d events", len(evs))
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("empty trace does not decode: %v", err)
+	}
+}
+
+// TestTracerConcurrent appends spans from many goroutines; with -race
+// this proves the event buffer is properly locked.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const goroutines = 8
+	const spans = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				sp := tr.BeginTID("work", "test", g)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != goroutines*spans {
+		t.Errorf("recorded %d events, want %d", got, goroutines*spans)
+	}
+}
+
+// TestSetTracer covers the process-wide tracer install/remove cycle.
+func TestSetTracer(t *testing.T) {
+	SetTracer(nil)
+	if ActiveTracer() != nil {
+		t.Fatal("ActiveTracer not nil after SetTracer(nil)")
+	}
+	tr := NewTracer()
+	SetTracer(tr)
+	if ActiveTracer() != tr {
+		t.Fatal("SetTracer did not install")
+	}
+	ActiveTracer().Instant("ping", "test")
+	SetTracer(nil)
+	if len(tr.Events()) != 1 {
+		t.Fatal("event through ActiveTracer was lost")
+	}
+}

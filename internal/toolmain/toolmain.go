@@ -20,6 +20,7 @@ import (
 	"eel/internal/progen"
 	"eel/internal/qpt"
 	"eel/internal/sim"
+	"eel/internal/telemetry"
 )
 
 // Run executes the tool with the given mode over args.
@@ -34,9 +35,16 @@ func Run(tool string, mode qpt.Mode, args []string) error {
 	maxSteps := fs.Uint64("max-steps", 500_000_000, "emulator step limit")
 	jobs := fs.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print analysis pipeline statistics")
+	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	tel, err := tf.Start()
+	if err != nil {
+		return err
+	}
+	defer tel.Close(os.Stderr)
 
 	var f *binfile.File
 	input := fs.Arg(0)

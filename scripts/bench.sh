@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the pipeline and emulator benchmarks and emit
-# BENCH_pipeline.json plus BENCH_sim.json.
+# BENCH_pipeline.json, BENCH_sim.json, and BENCH_telemetry.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -10,7 +10,10 @@
 #   {"name": ..., "ns_per_op": ..., "metrics": {unit: value, ...}}
 # records, one per benchmark line.  Then runs BenchmarkSimInterp and
 # BenchmarkSimTranslated and emits BENCH_sim.json with both engines'
-# instructions/sec and the translation-cache speedup ratio.
+# instructions/sec and the translation-cache speedup ratio.  Finally
+# runs BenchmarkSimTelemetry and BenchmarkSimProfiled against
+# BenchmarkSimTranslated and emits BENCH_telemetry.json with the
+# enabled-telemetry and profiling overheads (ratios ~1.0 mean free).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -69,3 +72,34 @@ END {
 ' "$simraw" > "$simout"
 
 echo "wrote $simout"
+
+# --- observability overhead: telemetry/profiling vs plain JIT ---
+telout="BENCH_telemetry.json"
+telraw="$(mktemp)"
+trap 'rm -f "$raw" "$simraw" "$telraw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSim(Translated|Telemetry|Profiled)$' \
+    -benchtime "${BENCHTIME:-5x}" . | tee "$telraw"
+
+awk '
+/^BenchmarkSimTranslated/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") base = $i
+}
+/^BenchmarkSimTelemetry/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") tel = $i
+}
+/^BenchmarkSimProfiled/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") prof = $i
+}
+END {
+    printf "{\n"
+    printf "  \"base_insts_per_sec\": %s,\n", (base == "" ? "null" : base)
+    printf "  \"telemetry_insts_per_sec\": %s,\n", (tel == "" ? "null" : tel)
+    printf "  \"profiled_insts_per_sec\": %s,\n", (prof == "" ? "null" : prof)
+    printf "  \"telemetry_overhead\": %.3f,\n", (tel > 0 ? base / tel : 0)
+    printf "  \"profiling_overhead\": %.3f\n", (prof > 0 ? base / prof : 0)
+    printf "}\n"
+}
+' "$telraw" > "$telout"
+
+echo "wrote $telout"
