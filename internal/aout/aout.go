@@ -103,6 +103,13 @@ func (format) Read(data []byte) (*binfile.File, error) {
 	if nsect > 64 || nsym > 1<<22 {
 		return nil, fmt.Errorf("aout: implausible counts (%d sections, %d symbols)", nsect, nsym)
 	}
+	// Each section needs at least 12 bytes and each symbol at least
+	// 14; reject overflowing counts against the remaining input up
+	// front instead of discovering the truncation one record at a
+	// time.
+	if uint64(nsect)*12+uint64(nsym)*14 > uint64(len(data)-r.off) {
+		return nil, fmt.Errorf("aout: counts exceed image size (%d sections, %d symbols)", nsect, nsym)
+	}
 	for i := uint32(0); i < nsect; i++ {
 		var s binfile.Section
 		if s.Name, err = r.str(); err != nil {
@@ -114,6 +121,11 @@ func (format) Read(data []byte) (*binfile.File, error) {
 		size, err := r.u32()
 		if err != nil {
 			return nil, err
+		}
+		// >= rather than >: a section ending exactly at 2^32 still
+		// wraps binfile.Section.End() to zero.
+		if uint64(s.Addr)+uint64(size) >= 1<<32 {
+			return nil, fmt.Errorf("aout: section %q wraps the address space", s.Name)
 		}
 		raw, err := r.bytes(size)
 		if err != nil {

@@ -1,0 +1,101 @@
+package aout
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// corrupt returns img with the big-endian u32 at off replaced.
+func corrupt(img []byte, off int, v uint32) []byte {
+	out := append([]byte(nil), img...)
+	binary.BigEndian.PutUint32(out[off:], v)
+	return out
+}
+
+// FuzzAoutRead feeds arbitrary bytes to the a.out reader.  The reader
+// must never panic: malformed input returns an error.  Images that do
+// parse must survive a Write/Read round trip unchanged.
+func FuzzAoutRead(f *testing.F) {
+	img, err := (format{}).Write(sample())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:8])
+	f.Add([]byte{})
+	// Header-count corruption: section count at offset 12, symbol
+	// count at 16 (overflow bait for the bounds checks).
+	f.Add(corrupt(img, 12, 0xffffffff))
+	f.Add(corrupt(img, 16, 0xffffffff))
+	f.Add(corrupt(img, 12, 64))
+	// First section's addr/size words (offsets 20: namelen, 24+len:
+	// addr): oversized size and wrapping addr.
+	f.Add(corrupt(img, 32, 0xfffffff0))
+	f.Add(corrupt(img, 28, 0xfffffffc))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := (format{}).Read(data)
+		if err != nil {
+			return
+		}
+		rewritten, err := (format{}).Write(parsed)
+		if err != nil {
+			t.Fatalf("parsed image fails to rewrite: %v", err)
+		}
+		again, err := (format{}).Read(rewritten)
+		if err != nil {
+			t.Fatalf("rewritten image fails to reparse: %v", err)
+		}
+		if again.Entry != parsed.Entry ||
+			len(again.Sections) != len(parsed.Sections) ||
+			len(again.Symbols) != len(parsed.Symbols) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", parsed, again)
+		}
+		for i := range parsed.Sections {
+			a, b := parsed.Sections[i], again.Sections[i]
+			if a.Name != b.Name || a.Addr != b.Addr || !bytes.Equal(a.Data, b.Data) {
+				t.Fatalf("round trip changed section %d", i)
+			}
+		}
+		for i := range parsed.Symbols {
+			if parsed.Symbols[i] != again.Symbols[i] {
+				t.Fatalf("round trip changed symbol %d", i)
+			}
+		}
+	})
+}
+
+// TestReadOverflowingImages pins the malformed images the fuzz
+// targets found or were hardened against: each must produce an error,
+// not a panic or a bogus parse.
+func TestReadOverflowingImages(t *testing.T) {
+	img, err := (format{}).Write(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"counts exceed image", corrupt(img, 16, 1<<21)},
+		{"section count over cap", corrupt(img, 12, 1<<30)},
+		{"symbol count over cap", corrupt(img, 16, 1<<30)},
+		{"section size past end", corrupt(img, 32, 0xfffffff0)},
+		{"section wraps address space", func() []byte {
+			f := sample()
+			f.Sections[0].Addr = 0xfffffffc
+			out, err := (format{}).Write(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := (format{}).Read(tc.data); err == nil {
+				t.Errorf("malformed image accepted")
+			}
+		})
+	}
+}

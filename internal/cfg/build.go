@@ -432,37 +432,39 @@ func (b *builder) connect() {
 	}
 }
 
-// findUnreachableTail locates instructions at the routine's end that
-// no path reaches: the paper's evidence of a hidden routine (§3.1
-// step 4).
+// findUnreachableTail locates the first instruction in the routine's
+// extent that no path reaches: the paper's evidence of a hidden
+// routine (§3.1 step 4).  The unreached region is not necessarily a
+// suffix: when a later address inside the extent is itself an entry
+// point (a hidden routine called directly, discovered by symbol
+// refinement), a hidden routine between the reachable parts forms an
+// unreached *hole*.  Splitting at the first unreached real
+// instruction handles both shapes; ControlFlowGraph re-runs on the
+// split-off part, peeling one hidden routine per pass.
 func (b *builder) findUnreachableTail() {
-	var maxReached uint32
-	for a := range b.reached {
-		if a > maxReached {
-			maxReached = a
+	if len(b.reached) == 0 {
+		return
+	}
+	for a := b.start; a < b.end; a += 4 {
+		if b.reached[a] {
+			continue
 		}
-	}
-	if maxReached == 0 {
-		return
-	}
-	tail := maxReached + 4
-	if tail >= b.end {
-		return
-	}
-	// Skip padding (invalid words / nops) before declaring a tail.
-	for a := tail; a < b.end; a += 4 {
+		// The delay slot of a reached annulled unconditional branch
+		// (ba,a) is never executed and never marked reached, but it
+		// is still part of this routine's code, not a hidden routine.
+		if a >= b.start+4 && b.reached[a-4] {
+			if prev := b.instAt(a - 4); prev.Valid() &&
+				prev.DelaySlots() == 1 && prev.IsAnnulledUncond() {
+				continue
+			}
+		}
 		inst := b.instAt(a)
-		if inst.Valid() && inst.Name() != "sethi" { // skip nop padding
+		// Skip padding: invalid words and the canonical nop
+		// (sethi 0, %g0).  Any other valid instruction — including a
+		// real sethi — marks hidden code.
+		if inst.Valid() && inst.Word() != 0x01000000 {
 			b.g.UnreachableTail = a
 			return
-		}
-		if inst.Valid() {
-			// A sethi could be real code; treat first one as tail
-			// unless it is the canonical nop (sethi 0, %g0).
-			if w := inst.Word(); w != 0x01000000 {
-				b.g.UnreachableTail = a
-				return
-			}
 		}
 	}
 }

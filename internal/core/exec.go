@@ -360,6 +360,21 @@ func (e *Executable) addHiddenTail(r *Routine, tail uint32) *Routine {
 		Entries: []uint32{tail},
 		Hidden:  true,
 	}
+	// The split point can precede refined entry points of r (the
+	// unreached region is a hole when a directly-called hidden
+	// routine follows it); those entries belong to the split-off
+	// routine now, and keeping them on r would put them outside its
+	// shrunken extent.
+	var keep []uint32
+	for _, en := range r.Entries {
+		switch {
+		case en < tail:
+			keep = append(keep, en)
+		case en > tail:
+			h.Entries = append(h.Entries, en)
+		}
+	}
+	r.Entries = keep
 	r.End = tail
 	// Insert in sorted position.
 	i := sort.Search(len(e.routines), func(i int) bool { return e.routines[i].Start > h.Start })

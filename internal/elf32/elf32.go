@@ -289,7 +289,12 @@ func (format) Read(raw []byte) (*binfile.File, error) {
 	shentsize := uint32(be16(46))
 	shnum := uint32(be16(48))
 	shstrndx := uint32(be16(50))
-	if shentsize < 40 || shoff+shnum*shentsize > uint32(len(raw)) || shstrndx >= shnum {
+	// The bounds check must be carried out in 64 bits: shoff near
+	// 2^32 with a small table, or a large shnum*shentsize product,
+	// wraps uint32 arithmetic and would pass a 32-bit comparison only
+	// to index past the end of raw below (found by FuzzElf32Read).
+	if shentsize < 40 || uint64(shoff)+uint64(shnum)*uint64(shentsize) > uint64(len(raw)) ||
+		shstrndx >= shnum {
 		return nil, fmt.Errorf("elf32: corrupt section header table")
 	}
 	readShdr := func(i uint32) shdr {
@@ -301,10 +306,24 @@ func (format) Read(raw []byte) (*binfile.File, error) {
 		}
 	}
 	sectionBody := func(h shdr) ([]byte, error) {
-		if h.off+h.size > uint32(len(raw)) {
+		// 64-bit arithmetic: off+size near 2^32 wraps uint32 and
+		// would slice out of bounds (found by FuzzElf32Read).
+		if uint64(h.off)+uint64(h.size) > uint64(len(raw)) {
 			return nil, fmt.Errorf("elf32: section exceeds image")
 		}
 		return raw[h.off : h.off+h.size], nil
+	}
+	loadable := func(h shdr, name string) (binfile.Section, error) {
+		// >= rather than >: a section ending exactly at 2^32 still
+		// wraps binfile.Section.End() to zero.
+		if uint64(h.addr)+uint64(h.size) >= 1<<32 {
+			return binfile.Section{}, fmt.Errorf("elf32: section %s wraps the address space", name)
+		}
+		body, err := sectionBody(h)
+		if err != nil {
+			return binfile.Section{}, err
+		}
+		return binfile.Section{Name: name, Addr: h.addr, Data: append([]byte(nil), body...)}, nil
 	}
 	shstrHdr := readShdr(shstrndx)
 	shstrBody, err := sectionBody(shstrHdr)
@@ -319,21 +338,17 @@ func (format) Read(raw []byte) (*binfile.File, error) {
 		name := shstr.get(h.name)
 		switch {
 		case name == ".text" || (h.typ == shtProgbits && h.flags&shfExecinstr != 0):
-			body, err := sectionBody(h)
+			s, err := loadable(h, "text")
 			if err != nil {
 				return nil, err
 			}
-			f.Sections = append(f.Sections, binfile.Section{
-				Name: "text", Addr: h.addr, Data: append([]byte(nil), body...),
-			})
+			f.Sections = append(f.Sections, s)
 		case name == ".data":
-			body, err := sectionBody(h)
+			s, err := loadable(h, "data")
 			if err != nil {
 				return nil, err
 			}
-			f.Sections = append(f.Sections, binfile.Section{
-				Name: "data", Addr: h.addr, Data: append([]byte(nil), body...),
-			})
+			f.Sections = append(f.Sections, s)
 		case h.typ == shtSymtab:
 			hc := h
 			symHdr = &hc

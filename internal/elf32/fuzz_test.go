@@ -1,0 +1,106 @@
+package elf32
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// corrupt32 returns img with the big-endian u32 at off replaced.
+func corrupt32(img []byte, off int, v uint32) []byte {
+	out := append([]byte(nil), img...)
+	binary.BigEndian.PutUint32(out[off:], v)
+	return out
+}
+
+// corrupt16 returns img with the big-endian u16 at off replaced.
+func corrupt16(img []byte, off int, v uint16) []byte {
+	out := append([]byte(nil), img...)
+	binary.BigEndian.PutUint16(out[off:], v)
+	return out
+}
+
+// FuzzElf32Read feeds arbitrary bytes to the ELF reader; it must
+// return errors on malformed input, never panic or read out of
+// bounds.
+func FuzzElf32Read(f *testing.F) {
+	img, err := (format{}).Write(sample())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:52])
+	f.Add([]byte{0x7f, 'E', 'L', 'F'})
+	// e_shoff lives at offset 32, e_shentsize/e_shnum/e_shstrndx at
+	// 46/48/50: the overflow bait that found the uint32-wrap bugs.
+	f.Add(corrupt32(img, 32, 0xfffffff0))
+	f.Add(corrupt16(img, 48, 0xffff))
+	f.Add(corrupt16(img, 46, 0xffff))
+	f.Add(corrupt16(img, 50, 0xffff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := (format{}).Read(data)
+		if err != nil {
+			return
+		}
+		// A successfully parsed file has sane sections: data slices
+		// exist and no section wraps the 32-bit address space.
+		for _, s := range parsed.Sections {
+			if uint64(s.Addr)+uint64(len(s.Data)) >= 1<<32 {
+				t.Fatalf("accepted section %q wrapping the address space (addr %#x len %d)",
+					s.Name, s.Addr, len(s.Data))
+			}
+		}
+	})
+}
+
+// TestReadOverflowingImages pins regressions for the uint32-overflow
+// bounds checks in Read: each corruption must yield an error, not a
+// slice panic.
+func TestReadOverflowingImages(t *testing.T) {
+	img, err := (format{}).Write(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the first section header (skip the null header) so we can
+	// corrupt sh_offset/sh_size of a real section.
+	shoff := binary.BigEndian.Uint32(img[32:])
+	shentsize := uint32(binary.BigEndian.Uint16(img[46:]))
+	sh1 := int(shoff + shentsize)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		// shoff near 2^32: shoff+shnum*shentsize wrapped uint32 and
+		// passed the old 32-bit bounds check, then readShdr indexed
+		// past the image (found by FuzzElf32Read).
+		{"shoff wraps", corrupt32(img, 32, 0xffffffd0)},
+		// Huge shnum: the product overflows 32 bits.
+		{"shnum product overflows", corrupt16(img, 48, 0xffff)},
+		// shstrndx outside the table.
+		{"shstrndx out of range", corrupt16(img, 50, 200)},
+		// Section body off+size wraps uint32 (found by FuzzElf32Read).
+		{"section body wraps", corrupt32(img, sh1+16, 0xfffffff8)},
+		{"section size past end", corrupt32(img, sh1+20, 0x7fffffff)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := (format{}).Read(tc.data); err == nil {
+				t.Errorf("malformed image accepted")
+			}
+		})
+	}
+}
+
+// TestReadRejectsWrappingSection checks the address-space wrap guard:
+// a loadable section whose addr+size reaches 2^32 must be rejected
+// (binfile.Section.End would wrap to 0).
+func TestReadRejectsWrappingSection(t *testing.T) {
+	f := sample()
+	f.Sections[0].Addr = 0xfffffffc
+	img, err := (format{}).Write(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (format{}).Read(img); err == nil {
+		t.Error("accepted text section wrapping the address space")
+	}
+}

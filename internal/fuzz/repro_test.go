@@ -1,0 +1,49 @@
+package fuzz
+
+import "testing"
+
+// Regression programs found by the differential harness (cmd/eelfuzz)
+// and shrunk by Shrink.  Each entry pins a real bug: the config
+// regenerates the exact program that failed, and the oracles must now
+// pass on it.
+func TestFuzzRegressions(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		why  string
+	}{
+		{
+			// eelfuzz -seed 1, iteration 359: r1 was a hidden
+			// continuation target lying between two reachable ranges
+			// of its containing routine (the hidden r2 after it was
+			// called directly, so refinement made r2 an extra entry).
+			// findUnreachableTail only looked past the highest
+			// reached address, missed the hole, and the edited build
+			// translated r1's address to 0 and jumped there.
+			name: "hidden-routine-hole",
+			cfg:  Config{Seed: 360, Routines: 4, BodyOps: 1, Continuations: true, Hidden: true},
+			why:  "unreached hole between entry-split ranges must become a hidden routine",
+		},
+		{
+			// eelfuzz -seed 1, iteration 3 (after the hole fix above):
+			// the delay slot of a ba,a is valid code that reach() never
+			// marks (the annul bit suppresses it), so the generalized
+			// hole scan mistook it for a hidden routine and split the
+			// routine mid-body; the edited image faulted on the stub.
+			name: "annulled-delay-slot-not-hidden",
+			cfg:  Config{Seed: 4, Routines: 1, BodyOps: 2, Annulled: true},
+			why:  "ba,a delay slots are unreached but belong to the routine",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range CheckAll(p, 10_000_000) {
+				t.Errorf("%s (%s)", v, tc.why)
+			}
+		})
+	}
+}

@@ -26,36 +26,6 @@ func runMode(t *testing.T, f *binfile.File, nojit bool) (*CPU, []byte) {
 	return cpu, out.Bytes()
 }
 
-// memEqual compares two memories byte-for-byte (absent pages read as
-// zero), returning the first differing address.
-func memEqual(a, b *Memory) (uint32, bool) {
-	keys := map[uint32]bool{}
-	for k := range a.pages {
-		keys[k] = true
-	}
-	for k := range b.pages {
-		keys[k] = true
-	}
-	var zero [pageSize]byte
-	for k := range keys {
-		pa, pb := a.pages[k], b.pages[k]
-		if pa == nil {
-			pa = &zero
-		}
-		if pb == nil {
-			pb = &zero
-		}
-		if *pa != *pb {
-			for i := range pa {
-				if pa[i] != pb[i] {
-					return k<<pageShift + uint32(i), false
-				}
-			}
-		}
-	}
-	return 0, true
-}
-
 // TestTranslatedMatchesInterpreter is the differential test: every
 // progen workload flavour runs under both the single-step interpreter
 // and the translation-cache engine, and the architected results —
@@ -127,7 +97,7 @@ func TestTranslatedMatchesInterpreter(t *testing.T) {
 			if len(interp.windows) != len(trans.windows) {
 				t.Errorf("window depth: interp %d, translated %d", len(interp.windows), len(trans.windows))
 			}
-			if addr, ok := memEqual(interp.Mem, trans.Mem); !ok {
+			if addr, ok := interp.Mem.Diff(trans.Mem); !ok {
 				t.Errorf("memory diverged at %#x: interp %#x, translated %#x",
 					addr, interp.Mem.ByteAt(addr), trans.Mem.ByteAt(addr))
 			}

@@ -180,6 +180,12 @@ func EncodeCall(dispWords int32) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	// disp30 is signed; out-of-range displacements previously
+	// truncated silently and decoded back to a different target
+	// (found by the fuzz round-trip oracle).
+	if dispWords < -(1<<29) || dispWords >= 1<<29 {
+		return 0, fmt.Errorf("sparc: call displacement %d words exceeds disp30", dispWords)
+	}
 	return insDisp30(w, uint32(dispWords)&0x3fffffff), nil
 }
 
