@@ -488,31 +488,82 @@ func BenchmarkEmulator(b *testing.B) {
 	}
 }
 
-// benchmarkSim runs the medium workload end to end in one of the two
-// execution engines and reports simulated instructions per second.
-func benchmarkSim(b *testing.B, nojit bool) {
-	start := time.Now()
-	var insts uint64
-	for i := 0; i < b.N; i++ {
-		cpu := sim.LoadFile(benchProgram.File, nil)
-		cpu.NoJIT = nojit
-		if err := cpu.Run(2_000_000_000); err != nil {
-			b.Fatal(err)
-		}
-		insts += cpu.InstCount
-	}
-	sec := time.Since(start).Seconds()
-	if sec > 0 {
-		b.ReportMetric(float64(insts)/sec, "sim-insts/s")
+// benchLoopProgram is the loop-heavy flavour: a hot counted loop in
+// main repeatedly calls the routine DAG, so execution is dominated by
+// the same paths crossing many block boundaries — the workload where
+// inter-block dispatch overhead (and therefore chaining and trace
+// extension) matters most.
+var benchLoopProgram = func() *progen.Program {
+	cfg := progen.DefaultConfig(2012)
+	cfg.BodyOps = 12
+	cfg.HotLoop = 8000
+	return progen.MustGenerate(cfg)
+}()
+
+// simFlavours are the workloads the engine benchmarks run; bench.sh
+// records each flavour separately in BENCH_sim.json.
+var simFlavours = []struct {
+	name string
+	prog *progen.Program
+}{
+	{"medium", benchProgram},
+	{"loopheavy", benchLoopProgram},
+}
+
+// benchmarkSim runs each workload flavour end to end in one of the
+// three execution engines and reports simulated instructions per
+// second; chained runs also report chain/IC hit rates and traces.
+func benchmarkSim(b *testing.B, nojit, nochain bool) {
+	for _, f := range simFlavours {
+		prog := f.prog
+		b.Run(f.name, func(b *testing.B) {
+			start := time.Now()
+			var insts uint64
+			var k sim.Counters
+			for i := 0; i < b.N; i++ {
+				cpu := sim.LoadFile(prog.File, nil)
+				cpu.NoJIT, cpu.NoChain = nojit, nochain
+				if err := cpu.Run(2_000_000_000); err != nil {
+					b.Fatal(err)
+				}
+				insts += cpu.InstCount
+				k = cpu.Counters()
+			}
+			sec := time.Since(start).Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(insts)/sec, "sim-insts/s")
+			}
+			if !nojit && !nochain {
+				b.ReportMetric(hitPct(k.ChainHits, k.ChainMisses), "chain-hit-%")
+				b.ReportMetric(hitPct(k.ICHits, k.ICMisses), "ic-hit-%")
+				b.ReportMetric(float64(k.Traces), "traces")
+				b.ReportMetric(float64(k.VictimHits), "victim-hits")
+			}
+		})
 	}
 }
 
+func hitPct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}
+
 // BenchmarkSimInterp is the single-step AST-interpreter baseline.
-func BenchmarkSimInterp(b *testing.B) { benchmarkSim(b, true) }
+func BenchmarkSimInterp(b *testing.B) { benchmarkSim(b, true, false) }
 
 // BenchmarkSimTranslated is the translation-cache (threaded-code)
-// engine; its sim-insts/s over BenchmarkSimInterp's is the speedup.
-func BenchmarkSimTranslated(b *testing.B) { benchmarkSim(b, false) }
+// engine with chaining disabled — every superblock exit returns to
+// the dispatcher, as in the original engine; its sim-insts/s over
+// BenchmarkSimInterp's is the translation speedup.
+func BenchmarkSimTranslated(b *testing.B) { benchmarkSim(b, false, true) }
+
+// BenchmarkSimChained is the full engine — translation cache plus
+// block chaining, indirect-jump inline caches, and trace extension
+// (the default).  Its sim-insts/s over BenchmarkSimTranslated's
+// isolates the dispatch overhead that chaining removes.
+func BenchmarkSimChained(b *testing.B) { benchmarkSim(b, false, false) }
 
 // BenchmarkSimTelemetry is the observability-overhead experiment: the
 // same workload as BenchmarkSimTranslated with telemetry fully
@@ -527,7 +578,7 @@ func BenchmarkSimTelemetry(b *testing.B) {
 		telemetry.SetTracer(nil)
 		telemetry.Disable()
 	}()
-	benchmarkSim(b, false)
+	benchmarkSim(b, false, false)
 }
 
 // BenchmarkSimProfiled measures the per-pc profiling hooks eelprof

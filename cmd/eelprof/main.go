@@ -9,8 +9,8 @@
 //
 // Usage:
 //
-//	eelprof [-gen seed] [-gen-routines N] [-top N] [-nojit] [-j N]
-//	        [-metrics] [-trace FILE] [-pprof ADDR] [input]
+//	eelprof [-gen seed] [-gen-routines N] [-top N] [-nojit] [-nochain]
+//	        [-jitstats] [-j N] [-metrics] [-trace FILE] [-pprof ADDR] [input]
 package main
 
 import (
@@ -38,6 +38,8 @@ func main() {
 	top := flag.Int("top", 10, "rows per table")
 	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
 	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
+	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
+	jitstats := flag.Bool("jitstats", false, "print chain/IC hit rates and trace counters")
 	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,7 +67,7 @@ func main() {
 		check(fmt.Errorf("need an input executable or -gen seed"))
 	}
 
-	out, err := profileRun(f, name, *nojit, *jobs, *top, *maxSteps)
+	out, err := profileRun(f, name, *nojit, *nochain, *jitstats, *jobs, *top, *maxSteps)
 	check(err)
 	fmt.Print(out)
 
@@ -76,9 +78,9 @@ func main() {
 // and renders the profile report.  It is deterministic for a given
 // input: the same program produces byte-identical output under either
 // execution engine and any worker count.
-func profileRun(f *binfile.File, name string, nojit bool, jobs, top int, maxSteps uint64) (string, error) {
+func profileRun(f *binfile.File, name string, nojit, nochain, jitstats bool, jobs, top int, maxSteps uint64) (string, error) {
 	cpu := sim.LoadFile(f, nil)
-	cpu.NoJIT = nojit
+	cpu.NoJIT, cpu.NoChain = nojit, nochain
 	cpu.Decoder().AttachTelemetry(telemetry.Default())
 	prof := cpu.EnableProfile()
 	if err := cpu.Run(maxSteps); err != nil {
@@ -102,7 +104,7 @@ func profileRun(f *binfile.File, name string, nojit bool, jobs, top int, maxStep
 	if err != nil {
 		return "", err
 	}
-	return report(name, cpu, prof, res, top), nil
+	return report(name, cpu, prof, res, top, jitstats), nil
 }
 
 // row is one attributed profile entry.
@@ -114,7 +116,7 @@ type row struct {
 }
 
 // report renders the hot-routine and hot-block tables.
-func report(name string, cpu *sim.CPU, prof *sim.Profile, res *pipeline.Result, top int) string {
+func report(name string, cpu *sim.CPU, prof *sim.Profile, res *pipeline.Result, top int, jitstats bool) string {
 	var b strings.Builder
 	total := cpu.InstCount
 	fmt.Fprintf(&b, "eelprof: %s: exit %d after %d instructions (%d annulled)\n",
@@ -128,6 +130,14 @@ func report(name string, cpu *sim.CPU, prof *sim.Profile, res *pipeline.Result, 
 	k := cpu.Counters()
 	fmt.Fprintf(&b, "jit: %d superblocks built, %d flushes, %d deopt steps\n",
 		k.Builds, k.Flushes, k.Deopts)
+	if jitstats {
+		// Also prefixed "jit:" so engine-sensitive lines stay strippable
+		// when comparing reports across engines.
+		fmt.Fprintf(&b, "jit: chain-hit %.1f%% (%d/%d), ic-hit %.1f%% (%d/%d), victim-hits %d, traces %d built / %d retired\n",
+			hitPct(k.ChainHits, k.ChainMisses), k.ChainHits, k.ChainHits+k.ChainMisses,
+			hitPct(k.ICHits, k.ICMisses), k.ICHits, k.ICHits+k.ICMisses,
+			k.VictimHits, k.Traces, k.TracesRetired)
+	}
 
 	var routines []row
 	var blocks []row
@@ -194,6 +204,13 @@ func report(name string, cpu *sim.CPU, prof *sim.Profile, res *pipeline.Result, 
 			100*float64(r.count)/float64(max(total, 1)), r.count, r.name, r.lo, r.hi, r.insts)
 	}
 	return b.String()
+}
+
+func hitPct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
 }
 
 func check(err error) {

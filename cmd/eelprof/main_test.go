@@ -9,8 +9,9 @@ import (
 
 // TestProfileDeterministic proves the acceptance property: the same
 // progen workload produces a byte-identical profile report under the
-// translation-cache engine and the single-step interpreter, repeated
-// runs included, and regardless of analysis worker count.
+// chained engine, the unchained translation cache, and the
+// single-step interpreter, repeated runs included, and regardless of
+// analysis worker count.
 func TestProfileDeterministic(t *testing.T) {
 	cfg := progen.DefaultConfig(7)
 	cfg.Routines = 20
@@ -31,12 +32,13 @@ func TestProfileDeterministic(t *testing.T) {
 
 	var reports []string
 	for _, v := range []struct {
-		nojit bool
-		jobs  int
-	}{{false, 1}, {false, 4}, {true, 1}, {true, 4}} {
-		out, err := profileRun(p.File, "gen7", v.nojit, v.jobs, 8, 500_000_000)
+		nojit   bool
+		nochain bool
+		jobs    int
+	}{{false, false, 1}, {false, false, 4}, {false, true, 1}, {true, false, 1}, {true, false, 4}} {
+		out, err := profileRun(p.File, "gen7", v.nojit, v.nochain, true, v.jobs, 8, 500_000_000)
 		if err != nil {
-			t.Fatalf("nojit=%v jobs=%d: %v", v.nojit, v.jobs, err)
+			t.Fatalf("nojit=%v nochain=%v jobs=%d: %v", v.nojit, v.nochain, v.jobs, err)
 		}
 		reports = append(reports, out)
 	}

@@ -42,6 +42,8 @@ func main() {
 	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print analysis pipeline statistics")
 	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
+	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
+	jitstats := flag.Bool("jitstats", false, "print translation-cache chain/IC hit rates and traces built")
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -88,13 +90,17 @@ func main() {
 		check(fmt.Errorf("need two executables, or -gen"))
 	}
 
-	o, oOut, oRate := run(orig, *maxSteps, *nojit)
-	e, eOut, eRate := run(edited, *maxSteps, *nojit)
+	o, oOut, oRate := run(orig, *maxSteps, *nojit, *nochain)
+	e, eOut, eRate := run(edited, *maxSteps, *nojit, *nochain)
 
 	fmt.Printf("original: exit %d, %d instructions, %d bytes output, %.0f insts/sec\n",
 		o.ExitCode, o.InstCount, len(oOut), oRate)
 	fmt.Printf("edited:   exit %d, %d instructions, %d bytes output (%.2fx), %.0f insts/sec\n",
 		e.ExitCode, e.InstCount, len(eOut), float64(e.InstCount)/float64(max(1, o.InstCount)), eRate)
+	if *jitstats {
+		printJITStats("original", o)
+		printJITStats("edited", e)
+	}
 
 	check(tool.Close(os.Stderr))
 
@@ -105,10 +111,10 @@ func main() {
 	fmt.Println("VERIFY OK: identical behaviour")
 }
 
-func run(f *binfile.File, maxSteps uint64, nojit bool) (*sim.CPU, []byte, float64) {
+func run(f *binfile.File, maxSteps uint64, nojit, nochain bool) (*sim.CPU, []byte, float64) {
 	var out bytes.Buffer
 	cpu := sim.LoadFile(f, &out)
-	cpu.NoJIT = nojit
+	cpu.NoJIT, cpu.NoChain = nojit, nochain
 	start := time.Now()
 	if err := cpu.Run(maxSteps); err != nil {
 		check(fmt.Errorf("execution: %w", err))
@@ -122,6 +128,24 @@ func run(f *binfile.File, maxSteps uint64, nojit bool) (*sim.CPU, []byte, float6
 		rate = float64(cpu.InstCount) / elapsed
 	}
 	return cpu, out.Bytes(), rate
+}
+
+// printJITStats reports the chaining tier's effectiveness for one
+// run.  The counters come from sim.Counters (mirrored to telemetry by
+// Run when a sink is attached; reading them here costs nothing when
+// telemetry is disabled).
+func printJITStats(label string, cpu *sim.CPU) {
+	k := cpu.Counters()
+	fmt.Printf("jit %s: blocks %d, chain-hit %.1f%%, ic-hit %.1f%%, victim-hits %d, traces %d (%d retired), deopts %d\n",
+		label, k.Builds, hitPct(k.ChainHits, k.ChainMisses), hitPct(k.ICHits, k.ICMisses),
+		k.VictimHits, k.Traces, k.TracesRetired, k.Deopts)
+}
+
+func hitPct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
 }
 
 func max(a, b uint64) uint64 {

@@ -26,6 +26,7 @@ func main() {
 	lineBytes := flag.Int("line", 16, "cache line size")
 	sets := flag.Int("sets", 256, "direct-mapped sets")
 	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 	check(err)
 
 	orig := sim.LoadFile(p.File, os.Stdout)
-	orig.NoJIT = *nojit
+	orig.NoJIT, orig.NoChain = *nojit, *nochain
 	check(orig.Run(500_000_000))
 
 	exec, err := eel.Load(p.File)
@@ -54,7 +55,7 @@ func main() {
 	check(err)
 
 	inst := sim.LoadFile(edited, os.Stdout)
-	inst.NoJIT = *nojit
+	inst.NoJIT, inst.NoChain = *nojit, *nochain
 	simStart := time.Now()
 	check(inst.Run(2_000_000_000))
 	simRate := float64(inst.InstCount) / time.Since(simStart).Seconds()

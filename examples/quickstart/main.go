@@ -42,6 +42,7 @@ done:	mov 1, %g1
 
 func main() {
 	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -103,10 +104,10 @@ func main() {
 	// --- Run both versions ---
 	start := time.Now()
 	orig := sim.LoadFile(img, os.Stdout)
-	orig.NoJIT = *nojit
+	orig.NoJIT, orig.NoChain = *nojit, *nochain
 	check(orig.Run(1_000_000))
 	inst := sim.LoadFile(edited, os.Stdout)
-	inst.NoJIT = *nojit
+	inst.NoJIT, inst.NoChain = *nojit, *nochain
 	check(inst.Run(1_000_000))
 	rate := float64(orig.InstCount+inst.InstCount) / time.Since(start).Seconds()
 	fmt.Printf("original: exit %d in %d instructions\n", orig.ExitCode, orig.InstCount)

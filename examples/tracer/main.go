@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 4, "workload seed")
 	show := flag.Int("show", 12, "trace entries to print")
 	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
+	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -105,7 +106,7 @@ func main() {
 	}
 
 	cpu := sim.LoadFile(edited, os.Stdout)
-	cpu.NoJIT = *nojit
+	cpu.NoJIT, cpu.NoChain = *nojit, *nochain
 	start := time.Now()
 	check(cpu.Run(500_000_000))
 	rate := float64(cpu.InstCount) / time.Since(start).Seconds()

@@ -128,7 +128,7 @@ func Run(opts Options) *Report {
 		rep.Programs++
 		vs := check(p, opts.MaxSteps)
 		if opts.oracleEnabled("lockstep") {
-			if res := runOnce(p.File, opts.MaxSteps, true); res.cpu != nil {
+			if res := runOnce(p.File, opts.MaxSteps, EngineInterp); res.cpu != nil {
 				rep.Insts += res.cpu.InstCount
 			}
 		}

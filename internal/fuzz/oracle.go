@@ -283,9 +283,31 @@ type runResult struct {
 	err error
 }
 
-// runOnce executes f on a fresh emulator, converting panics to
-// errors so a harness iteration survives engine bugs.
-func runOnce(f *binfile.File, maxSteps uint64, nojit bool) (res runResult) {
+// Engine selects one of the emulator's three execution engines for a
+// lockstep run.
+type Engine int
+
+const (
+	EngineInterp  Engine = iota // single-step AST interpreter
+	EngineJIT                   // translation cache, no chaining
+	EngineChained               // chaining + inline caches + traces
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineInterp:
+		return "interpreter"
+	case EngineJIT:
+		return "jit"
+	default:
+		return "chained"
+	}
+}
+
+// runOnce executes f on a fresh emulator with the given engine,
+// converting panics to errors so a harness iteration survives engine
+// bugs.
+func runOnce(f *binfile.File, maxSteps uint64, eng Engine) (res runResult) {
 	var buf bytes.Buffer
 	defer func() {
 		if r := recover(); r != nil {
@@ -294,39 +316,50 @@ func runOnce(f *binfile.File, maxSteps uint64, nojit bool) (res runResult) {
 		res.out = buf.Bytes()
 	}()
 	cpu := sim.LoadFile(f, &buf)
-	cpu.NoJIT = nojit
+	cpu.NoJIT = eng == EngineInterp
+	cpu.NoChain = eng == EngineJIT
 	res.cpu = cpu
 	res.err = cpu.Run(maxSteps)
 	return res
 }
 
-// CheckLockstep runs the program to completion on both execution
-// engines — the single-step interpreter and the translation-cache
-// engine — and requires bit-identical outcomes: same error (if any),
-// same output bytes, same architected state, same memory image.
+// CheckLockstep runs the program to completion on all three execution
+// engines — the single-step interpreter, the translation-cache engine,
+// and the chained/trace engine — and requires bit-identical outcomes
+// against the interpreter: same error (if any), same output bytes,
+// same architected state, same memory image.
 func CheckLockstep(p *Program, maxSteps uint64) []Violation {
-	interp := runOnce(p.File, maxSteps, true)
-	jit := runOnce(p.File, maxSteps, false)
+	interp := runOnce(p.File, maxSteps, EngineInterp)
 	var vs []Violation
-	if (interp.err == nil) != (jit.err == nil) ||
-		(interp.err != nil && jit.err != nil && interp.err.Error() != jit.err.Error()) {
+	for _, eng := range []Engine{EngineJIT, EngineChained} {
+		vs = append(vs, lockstepDiff(interp, runOnce(p.File, maxSteps, eng), eng)...)
+	}
+	return vs
+}
+
+// lockstepDiff compares one engine's run against the interpreter
+// reference.
+func lockstepDiff(interp, run runResult, eng Engine) []Violation {
+	var vs []Violation
+	if (interp.err == nil) != (run.err == nil) ||
+		(interp.err != nil && run.err != nil && interp.err.Error() != run.err.Error()) {
 		vs = append(vs, violate("lockstep",
-			"errors diverge: interpreter=%v jit=%v", interp.err, jit.err))
+			"errors diverge: interpreter=%v %s=%v", interp.err, eng, run.err))
 		return vs
 	}
-	if !bytes.Equal(interp.out, jit.out) {
+	if !bytes.Equal(interp.out, run.out) {
 		vs = append(vs, violate("lockstep",
-			"output diverges: interpreter wrote %q, jit wrote %q", interp.out, jit.out))
+			"output diverges: interpreter wrote %q, %s wrote %q", interp.out, eng, run.out))
 	}
-	if interp.cpu == nil || jit.cpu == nil {
+	if interp.cpu == nil || run.cpu == nil {
 		return vs
 	}
-	if a, b := interp.cpu.ArchState(), jit.cpu.ArchState(); a != b {
+	if a, b := interp.cpu.ArchState(), run.cpu.ArchState(); a != b {
 		vs = append(vs, violate("lockstep",
-			"architected state diverges:\ninterpreter: %sjit:         %s", a, b))
+			"architected state diverges:\ninterpreter: %s%s: %s", a, eng, b))
 	}
-	if addr, ok := interp.cpu.Mem.Diff(jit.cpu.Mem); !ok {
-		vs = append(vs, violate("lockstep", "memory diverges at %#x", addr))
+	if addr, ok := interp.cpu.Mem.Diff(run.cpu.Mem); !ok {
+		vs = append(vs, violate("lockstep", "memory diverges at %#x (%s)", addr, eng))
 	}
 	return vs
 }
@@ -360,7 +393,7 @@ func edit(f *binfile.File, instrument bool) (edited *binfile.File, err error) {
 // qpt-instrumented build must all exit with the same code and write
 // the same output.
 func CheckEdited(p *Program, maxSteps uint64) []Violation {
-	orig := runOnce(p.File, maxSteps, false)
+	orig := runOnce(p.File, maxSteps, EngineChained)
 	if orig.err != nil {
 		return []Violation{violate("edited", "original program fails to run: %v", orig.err)}
 	}
@@ -377,7 +410,7 @@ func CheckEdited(p *Program, maxSteps uint64) []Violation {
 			vs = append(vs, violate("edited", "%s edit failed: %v", mode.name, err))
 			continue
 		}
-		res := runOnce(ed, maxSteps*8, false)
+		res := runOnce(ed, maxSteps*8, EngineChained)
 		if res.err != nil {
 			vs = append(vs, violate("edited", "%s build fails to run: %v", mode.name, res.err))
 			continue

@@ -67,6 +67,13 @@ type Config struct {
 	// MemHeavy biases generation toward loads and stores (for the
 	// Active Memory experiment's workloads).
 	MemHeavy bool
+	// HotLoop, when positive, adds a counted loop to main that calls
+	// the DAG roots that many times — a loop-heavy workload whose
+	// dynamic execution is dominated by repeated paths across routine
+	// boundaries (the emulator's block-chaining and trace-extension
+	// benchmarks measure on it).  The trip count lives in data memory
+	// because flat callees clobber main's locals.
+	HotLoop int
 	// Base is the text load address.
 	Base uint32
 }
@@ -240,6 +247,22 @@ func (g *gen) emitMain() {
 			g.call(i * (g.cfg.Routines / roots))
 		}
 		g.l("\txor %%o0, %d, %%o0", rep+1)
+	}
+	if g.cfg.HotLoop > 0 {
+		top := g.fresh("hot")
+		g.l("\tset %d, %%l1", hotSlot)
+		g.l("\tset %d, %%l0", g.cfg.HotLoop)
+		g.l("\tst %%l0, [%%l1]")
+		g.l("%s:", top)
+		for i := 0; i < roots; i++ {
+			g.call(i * (g.cfg.Routines / roots))
+		}
+		g.l("\tset %d, %%l1", hotSlot)
+		g.l("\tld [%%l1], %%l0")
+		g.l("\tsubcc %%l0, 1, %%l0")
+		g.l("\tst %%l0, [%%l1]")
+		g.l("\tbne %s", top)
+		g.l("\tnop")
 	}
 	g.l("\tmov 1, %%g1")
 	g.l("\tta 0")
@@ -501,6 +524,10 @@ func (g *gen) addSymbols(f *binfile.File, prog *asm.Program) {
 // fpSlot returns the data-segment address of routine i's
 // function-pointer slot.
 func fpSlot(i int) uint32 { return 0x400800 + uint32(i)*4 }
+
+// hotSlot holds the HotLoop trip counter (clear of the memOp, fpOp,
+// and function-pointer slot ranges).
+const hotSlot = 0x4007f0
 
 func min(a, b int) int {
 	if a < b {

@@ -51,14 +51,25 @@ func (e *CompileError) Error() string {
 }
 
 type exprFn func(ctx *Ctx) (uint64, error)
-type stmtFn func(ctx *Ctx) error
+
+// OpFunc is one compiled operation of a direct-mode program; see
+// Prog.DirectOps.  stmtFn is the internal name.
+type OpFunc func(ctx *Ctx) error
+
+type stmtFn = OpFunc
 
 // cexpr is a compiled expression: a constant folded at compile time,
-// or a closure evaluated at run time.
+// or a closure evaluated at run time.  A bare register read also
+// carries its (file, index) shape so operators over it fuse into a
+// single closure (see pure1/pure2) instead of a chain of evals — the
+// eval chain is the hot path of every translated instruction.
 type cexpr struct {
 	isConst bool
 	val     uint64
 	fn      exprFn
+	isReg   bool
+	rfile   string
+	ridx    int64
 }
 
 func constExpr(v uint64) cexpr { return cexpr{isConst: true, val: v} }
@@ -95,6 +106,9 @@ type Ctx struct {
 	m     Machine
 	temps []uint64
 	pend  []cpend
+	// sargs is scratch for SpecialMachine calls, so register-window
+	// operations do not allocate an argument slice per execution.
+	sargs [2]uint64
 }
 
 // Prog is a compiled semantic program.  It is immutable after Compile
@@ -102,6 +116,11 @@ type Ctx struct {
 type Prog struct {
 	steps  [][]stmtFn
 	nTemps int
+	flags  uint8
+	// direct-mode programs (CompileDirect) commit writes immediately
+	// and carry the flattened op list RunDirect executes.
+	direct bool
+	flat   []stmtFn
 }
 
 // Run executes the program against m, reusing ctx's buffers.  The
@@ -148,31 +167,119 @@ func (p *Prog) Run(m Machine, ctx *Ctx) error {
 type compiler struct {
 	env   CompileEnv
 	slots map[string]int
+	flags uint8
+	// Direct mode (CompileDirect): assignments commit immediately and
+	// an tracks the per-step equivalence proof (see direct.go).
+	direct  bool
+	stepIdx int
+	an      *directAnalysis
 }
 
 // Compile lowers a ground semantic statement list to a Prog
 // specialized on env's field values.
 func Compile(n Node, env CompileEnv) (*Prog, error) {
+	return compileWith(n, env, false)
+}
+
+func compileWith(n Node, env CompileEnv, direct bool) (*Prog, error) {
 	if n == nil {
 		return nil, &CompileError{nil, "no semantics"}
 	}
-	c := &compiler{env: env, slots: map[string]int{}}
+	c := &compiler{env: env, slots: map[string]int{}, direct: direct}
+	if direct {
+		c.an = &directAnalysis{}
+	}
 	seq, ok := n.(Seq)
 	if !ok {
 		seq = Seq{Steps: [][]Node{{n}}}
 	}
 	p := &Prog{steps: make([][]stmtFn, 0, len(seq.Steps))}
-	for _, step := range seq.Steps {
-		var fns []stmtFn
-		for _, op := range step {
-			if err := c.stmt(op, &fns); err != nil {
-				return nil, err
-			}
+	for i, step := range seq.Steps {
+		c.stepIdx = i
+		fns, err := c.lowerStep(step, n)
+		if err != nil {
+			return nil, err
 		}
 		p.steps = append(p.steps, fns)
 	}
 	p.nTemps = len(c.slots)
+	p.flags = c.flags
+	if direct {
+		p.direct = true
+		for _, step := range p.steps {
+			p.flat = append(p.flat, step...)
+		}
+	}
 	return p, nil
+}
+
+// lowerStep compiles one parallel step.  In direct mode, when the
+// program-order lowering trips the intra-step analysis (typically a
+// read of a register an earlier op just committed — subcc overwriting
+// its own source while the cc op still wants the old value), the ops
+// of the step are retried in other serializations: parallel-step
+// semantics reads all inputs before any commit, so any order whose
+// immediate commits are never read later in the step — under the
+// stricter permuted-mode rules, see directAnalysis.permuted — yields
+// the same observable state.  Re-lowering is idempotent (temp slots
+// are keyed by name, effect flags are monotonic over the same op
+// set), and closures from failed attempts are discarded.
+func (c *compiler) lowerStep(step []Node, whole Node) ([]stmtFn, error) {
+	if c.an != nil {
+		c.an.resetStep()
+	}
+	var fns []stmtFn
+	for _, op := range step {
+		if err := c.stmt(op, &fns); err != nil {
+			return nil, err
+		}
+	}
+	if c.an == nil || !c.an.failed {
+		return fns, nil
+	}
+	if n := len(step); n >= 2 && n <= 3 {
+		order := make([]int, n)
+		for perm := 1; permute(order, perm); perm++ {
+			c.an.resetStep()
+			c.an.permuted = true
+			fns = nil
+			for _, j := range order {
+				if err := c.stmt(step[j], &fns); err != nil {
+					return nil, err
+				}
+			}
+			if !c.an.failed {
+				return fns, nil
+			}
+		}
+	}
+	return nil, &CompileError{whole, "immediate write commits would be observable"}
+}
+
+// permute fills order with the k-th permutation of 0..len(order)-1
+// (factorial number system; k=0 is identity).  It reports false when k
+// is out of range.
+func permute(order []int, k int) bool {
+	n := len(order)
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	fact := 1
+	for i := 2; i <= n; i++ {
+		fact *= i
+	}
+	if k < 0 || k >= fact {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		fact /= n - i
+		j := k / fact
+		k %= fact
+		order[i] = avail[j]
+		avail = append(avail[:j], avail[j+1:]...)
+	}
+	return true
 }
 
 func (c *compiler) slot(name string) int {
@@ -249,6 +356,9 @@ func (c *compiler) stmt(n Node, out *[]stmtFn) error {
 		return nil
 	case Ident:
 		if x.Name == "annul" {
+			// Annulment happens during evaluation in both modes and
+			// reads nothing, so direct mode needs no analysis note.
+			c.flags |= FlagAnnul
 			*out = append(*out, func(ctx *Ctx) error {
 				ctx.m.Annul()
 				return nil
@@ -262,6 +372,10 @@ func (c *compiler) stmt(n Node, out *[]stmtFn) error {
 			arg, err := c.expr(args[0])
 			if err != nil {
 				return err
+			}
+			c.flags |= FlagTrap
+			if c.an != nil {
+				c.an.exclusive()
 			}
 			*out = append(*out, func(ctx *Ctx) error {
 				v, err := arg.eval(ctx)
@@ -292,7 +406,37 @@ func (c *compiler) stmt(n Node, out *[]stmtFn) error {
 	}
 }
 
-func regWrite(file string, idx int64, rhs cexpr) stmtFn {
+// regWrite builds the committing closure for a constant-index
+// register write: buffered in normal mode, immediate in direct mode.
+func (c *compiler) regWrite(file string, idx int64, rhs cexpr) stmtFn {
+	if c.an != nil {
+		c.an.regWrite(file, idx)
+	}
+	if c.direct {
+		switch {
+		case rhs.isConst:
+			v := rhs.val
+			return func(ctx *Ctx) error { return ctx.m.WriteReg(file, idx, v) }
+		case rhs.isReg:
+			sf, si := rhs.rfile, rhs.ridx
+			return func(ctx *Ctx) error {
+				v, err := ctx.m.ReadReg(sf, si)
+				if err != nil {
+					return err
+				}
+				return ctx.m.WriteReg(file, idx, v)
+			}
+		default:
+			fn := rhs.fn
+			return func(ctx *Ctx) error {
+				v, err := fn(ctx)
+				if err != nil {
+					return err
+				}
+				return ctx.m.WriteReg(file, idx, v)
+			}
+		}
+	}
 	return func(ctx *Ctx) error {
 		v, err := rhs.eval(ctx)
 		if err != nil {
@@ -307,6 +451,24 @@ func (c *compiler) assign(lhs Node, rhs cexpr, out *[]stmtFn) error {
 	switch t := UnwrapSeq(lhs).(type) {
 	case Ident:
 		if t.Name == "pc" {
+			c.flags |= FlagPC
+			if c.an != nil {
+				c.an.pcWrite()
+			}
+			if c.direct {
+				// Whether a pc assignment is a delayed transfer depends
+				// only on its step position, so the flag folds here.
+				delayed := c.stepIdx > 0
+				*out = append(*out, func(ctx *Ctx) error {
+					v, err := rhs.eval(ctx)
+					if err != nil {
+						return err
+					}
+					ctx.m.SetPC(v, delayed)
+					return nil
+				})
+				return nil
+			}
 			*out = append(*out, func(ctx *Ctx) error {
 				v, err := rhs.eval(ctx)
 				if err != nil {
@@ -318,7 +480,7 @@ func (c *compiler) assign(lhs Node, rhs cexpr, out *[]stmtFn) error {
 			return nil
 		}
 		if file, idx, ok := c.env.RegAlias(t.Name); ok {
-			*out = append(*out, regWrite(file, idx, rhs))
+			*out = append(*out, c.regWrite(file, idx, rhs))
 			return nil
 		}
 		if _, isField := c.env.Field(t.Name); isField {
@@ -349,6 +511,24 @@ func (c *compiler) assign(lhs Node, rhs cexpr, out *[]stmtFn) error {
 			if err != nil {
 				return err
 			}
+			c.flags |= FlagMemWrite
+			if c.an != nil {
+				c.an.memWrite()
+			}
+			if c.direct {
+				*out = append(*out, func(ctx *Ctx) error {
+					v, err := rhs.eval(ctx)
+					if err != nil {
+						return err
+					}
+					a, err := addr.eval(ctx)
+					if err != nil {
+						return err
+					}
+					return ctx.m.WriteMem(a, w, v)
+				})
+				return nil
+			}
 			*out = append(*out, func(ctx *Ctx) error {
 				v, err := rhs.eval(ctx)
 				if err != nil {
@@ -371,11 +551,28 @@ func (c *compiler) assign(lhs Node, rhs cexpr, out *[]stmtFn) error {
 			return err
 		}
 		if idx.isConst {
-			*out = append(*out, regWrite(base.Name, int64(idx.val), rhs))
+			*out = append(*out, c.regWrite(base.Name, int64(idx.val), rhs))
 			return nil
 		}
 		file := base.Name
 		ifn := idx.fn
+		if c.an != nil {
+			c.an.regWriteDyn(file)
+		}
+		if c.direct {
+			*out = append(*out, func(ctx *Ctx) error {
+				v, err := rhs.eval(ctx)
+				if err != nil {
+					return err
+				}
+				i, err := ifn(ctx)
+				if err != nil {
+					return err
+				}
+				return ctx.m.WriteReg(file, int64(i), v)
+			})
+			return nil
+		}
 		*out = append(*out, func(ctx *Ctx) error {
 			v, err := rhs.eval(ctx)
 			if err != nil {
@@ -455,6 +652,9 @@ func (c *compiler) expr(n Node) (cexpr, error) {
 		if x.F == nil {
 			// The interpreter only errors when the condition is false
 			// at run time; preserve that.
+			if c.an != nil {
+				c.an.mayErr()
+			}
 			at := n
 			f = dynExpr(func(ctx *Ctx) (uint64, error) {
 				return 0, &EvalError{at, "conditional expression lacks else arm"}
@@ -495,16 +695,27 @@ func (c *compiler) ident(x Ident) (cexpr, error) {
 		return constExpr(uint64(v)), nil
 	}
 	if x.Name == "pc" {
+		if c.an != nil {
+			c.an.pcRead()
+		}
 		return dynExpr(func(ctx *Ctx) (uint64, error) { return ctx.m.PC(), nil }), nil
 	}
 	if file, idx, ok := c.env.RegAlias(x.Name); ok {
-		return regRead(file, idx), nil
+		return c.regRead(file, idx), nil
 	}
 	return cexpr{}, &CompileError{x, "unknown identifier"}
 }
 
-func regRead(file string, idx int64) cexpr {
-	return dynExpr(func(ctx *Ctx) (uint64, error) { return ctx.m.ReadReg(file, idx) })
+func (c *compiler) regRead(file string, idx int64) cexpr {
+	if c.an != nil {
+		c.an.regRead(file, idx)
+	}
+	return cexpr{
+		fn:    func(ctx *Ctx) (uint64, error) { return ctx.m.ReadReg(file, idx) },
+		isReg: true,
+		rfile: file,
+		ridx:  idx,
+	}
 }
 
 func (c *compiler) indexExpr(x Index) (cexpr, error) {
@@ -520,6 +731,9 @@ func (c *compiler) indexExpr(x Index) (cexpr, error) {
 		w, err := c.width(x)
 		if err != nil {
 			return cexpr{}, err
+		}
+		if c.an != nil {
+			c.an.memRead()
 		}
 		return dynExpr(func(ctx *Ctx) (uint64, error) {
 			a, err := addr.eval(ctx)
@@ -537,10 +751,13 @@ func (c *compiler) indexExpr(x Index) (cexpr, error) {
 		return cexpr{}, err
 	}
 	if idx.isConst {
-		return regRead(base.Name, int64(idx.val)), nil
+		return c.regRead(base.Name, int64(idx.val)), nil
 	}
 	file := base.Name
 	ifn := idx.fn
+	if c.an != nil {
+		c.an.regReadDyn(file)
+	}
 	return dynExpr(func(ctx *Ctx) (uint64, error) {
 		i, err := ifn(ctx)
 		if err != nil {
@@ -603,6 +820,9 @@ func (c *compiler) bin(x Bin) (cexpr, error) {
 		return pure2(l, r, func(a, b uint64) uint64 { return a * b }), nil
 	case "/", "%":
 		mod := x.Op == "%"
+		if c.an != nil {
+			c.an.mayErr()
+		}
 		at := x
 		div := func(a, b uint64) (uint64, error) {
 			if b == 0 {
@@ -662,21 +882,19 @@ func (c *compiler) applyExpr(x Apply) (cexpr, error) {
 		if len(args) != 1 {
 			return cexpr{}, &CompileError{x, "condition test wants one register"}
 		}
-		if _, err := condTest(f.Name, 0, x); err != nil {
+		// Resolve the condition name at compile time to a pure test:
+		// calling condTest from the closure would box the AST context
+		// argument into an interface on every executed branch, one
+		// heap allocation per dynamic condition evaluation.
+		test, ok := condTestFn(f.Name)
+		if !ok {
 			return cexpr{}, &CompileError{x, "unknown condition test '" + f.Name}
 		}
 		arg, err := c.expr(args[0])
 		if err != nil {
 			return cexpr{}, err
 		}
-		name, at := f.Name, x
-		return dynExpr(func(ctx *Ctx) (uint64, error) {
-			v, err := arg.eval(ctx)
-			if err != nil {
-				return 0, err
-			}
-			return condTest(name, v, at)
-		}), nil
+		return pure1(arg, test), nil
 	case Ident:
 		return c.builtinExpr(f.Name, args, x)
 	default:
@@ -775,6 +993,9 @@ func (c *compiler) builtinExpr(name string, args []Node, at Node) (cexpr, error)
 			return cexpr{}, err
 		}
 		op, l, r := name, vals[0], vals[1]
+		if c.an != nil {
+			c.an.mayErr()
+		}
 		return dynExpr(func(ctx *Ctx) (uint64, error) {
 			av, err := l.eval(ctx)
 			if err != nil {
@@ -859,6 +1080,10 @@ func (c *compiler) builtinExpr(name string, args []Node, at Node) (cexpr, error)
 		if err := argc(2); err != nil {
 			return cexpr{}, err
 		}
+		c.flags |= FlagSpecial
+		if c.an != nil {
+			c.an.exclusive()
+		}
 		n, a, b := name, vals[0], vals[1]
 		return dynExpr(func(ctx *Ctx) (uint64, error) {
 			av, err := a.eval(ctx)
@@ -873,7 +1098,10 @@ func (c *compiler) builtinExpr(name string, args []Node, at Node) (cexpr, error)
 			if !ok {
 				return 0, ErrDynamic
 			}
-			return 0, sm.Special(n, []uint64{av, bv})
+			// The ctx-owned scratch keeps window operations from
+			// allocating an argument slice per execution.
+			ctx.sargs[0], ctx.sargs[1] = av, bv
+			return 0, sm.Special(n, ctx.sargs[:2])
 		}), nil
 	}
 	return cexpr{}, &CompileError{at, "unknown builtin " + name}
@@ -888,10 +1116,22 @@ func (c *compiler) fbin(vals []cexpr, at Node, f func(a, b float32) float32) (ce
 	}), nil
 }
 
-// pure1 builds a one-argument pure operation, folding constants.
+// pure1 builds a one-argument pure operation, folding constants and
+// fusing a register-read argument into the operator's own closure so
+// evaluation is one call instead of a chain.
 func pure1(a cexpr, f func(uint64) uint64) cexpr {
 	if a.isConst {
 		return constExpr(f(a.val))
+	}
+	if a.isReg {
+		file, idx := a.rfile, a.ridx
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			v, err := ctx.m.ReadReg(file, idx)
+			if err != nil {
+				return 0, err
+			}
+			return f(v), nil
+		})
 	}
 	fn := a.fn
 	return dynExpr(func(ctx *Ctx) (uint64, error) {
@@ -903,10 +1143,74 @@ func pure1(a cexpr, f func(uint64) uint64) cexpr {
 	})
 }
 
-// pure2 builds a two-argument pure operation, folding constants.
+// pure2 builds a two-argument pure operation, folding constants.  The
+// common argument shapes — register reads and constants, which is what
+// every ALU instruction lowers to — fuse into a single closure; the
+// left-then-right evaluation order of the generic form is preserved in
+// each specialization.
 func pure2(a, b cexpr, f func(x, y uint64) uint64) cexpr {
 	if a.isConst && b.isConst {
 		return constExpr(f(a.val, b.val))
+	}
+	if a.isReg {
+		af, ai := a.rfile, a.ridx
+		switch {
+		case b.isConst:
+			k := b.val
+			return dynExpr(func(ctx *Ctx) (uint64, error) {
+				x, err := ctx.m.ReadReg(af, ai)
+				if err != nil {
+					return 0, err
+				}
+				return f(x, k), nil
+			})
+		case b.isReg:
+			bf, bi := b.rfile, b.ridx
+			return dynExpr(func(ctx *Ctx) (uint64, error) {
+				x, err := ctx.m.ReadReg(af, ai)
+				if err != nil {
+					return 0, err
+				}
+				y, err := ctx.m.ReadReg(bf, bi)
+				if err != nil {
+					return 0, err
+				}
+				return f(x, y), nil
+			})
+		default:
+			bfn := b.fn
+			return dynExpr(func(ctx *Ctx) (uint64, error) {
+				x, err := ctx.m.ReadReg(af, ai)
+				if err != nil {
+					return 0, err
+				}
+				y, err := bfn(ctx)
+				if err != nil {
+					return 0, err
+				}
+				return f(x, y), nil
+			})
+		}
+	}
+	if a.isConst && b.isReg {
+		k, bf, bi := a.val, b.rfile, b.ridx
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			y, err := ctx.m.ReadReg(bf, bi)
+			if err != nil {
+				return 0, err
+			}
+			return f(k, y), nil
+		})
+	}
+	if !a.isConst && b.isConst {
+		afn, k := a.fn, b.val
+		return dynExpr(func(ctx *Ctx) (uint64, error) {
+			x, err := afn(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return f(x, k), nil
+		})
 	}
 	return dynExpr(func(ctx *Ctx) (uint64, error) {
 		x, err := a.eval(ctx)

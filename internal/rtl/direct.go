@@ -1,0 +1,285 @@
+package rtl
+
+// Direct-mode compilation: a second lowering used by the emulator's
+// hot tier.  A normal Prog buffers register, memory and pc writes and
+// commits them after each parallel step; that pending-write machinery
+// (append, commit loop, interface dispatch) is the single largest
+// per-instruction cost of translated code.  CompileDirect proves, per
+// step, that committing each write immediately — in op order — is
+// observationally equivalent to the buffered discipline, and then
+// lowers assignments to immediate writes so RunDirect executes the
+// program with no pending-write traffic at all.
+//
+// Equivalence argument.  A buffered step runs E1..En C1..Cn (Ei =
+// evaluation of op i plus its immediate effects — temporaries, annul,
+// trap, window specials; Ci = commit of op i's buffered writes);
+// direct mode runs E1 C1 .. En Cn.  The reorder is unobservable when,
+// within a step:
+//
+//  1. no op reads a location (register, memory, pc) written by an
+//     earlier op, so every read sees pre-step state in both orders;
+//  2. once any op has committed a write, no later op may fail during
+//     evaluation (memory read, division, dynamic register index) —
+//     a buffered step surfaces such an error before any commit;
+//  3. trap and register-window specials, which read and write broad
+//     machine state during evaluation, stand alone in their step.
+//
+// Writes within one op (evaluate RHS, then commit) already happen in
+// that order in both modes, commits keep their relative order, and
+// step boundaries are full barriers either way, so the analysis
+// resets per step.  Anything it cannot prove makes CompileDirect
+// fail and the caller keeps the buffered program: the fallback is the
+// common, always-correct path.  The compiler reports reads, writes
+// and may-fail points as it lowers — after constant folding, so an
+// immediate-form operand contributes no register read and a folded
+// guard hides its dead arm.
+
+// Effect flags summarizing a compiled program, recorded during
+// lowering in both modes.  The emulator uses them to pick a reduced
+// pipeline-advance sequence for instructions that provably do not
+// transfer control, annul, or trap.
+const (
+	FlagPC       uint8 = 1 << iota // may assign pc
+	FlagAnnul                      // may annul the delay slot
+	FlagTrap                       // may raise a trap
+	FlagSpecial                    // register-window special operation
+	FlagMemWrite                   // may write memory
+)
+
+// Flags reports the program's effect summary.
+func (p *Prog) Flags() uint8 { return p.flags }
+
+// Direct reports whether the program commits writes immediately
+// (compiled by CompileDirect) rather than buffering them per step.
+func (p *Prog) Direct() bool { return p.direct }
+
+// CompileDirect lowers n like Compile but with immediate write
+// commits.  It fails — with a CompileError, like any other
+// uncompilable construct — when the commit reorder cannot be proven
+// unobservable; callers fall back to the buffered Compile form.
+// The result must be executed with RunDirect (Run also works: the
+// buffered commit loop simply finds nothing pending).
+func CompileDirect(n Node, env CompileEnv) (*Prog, error) {
+	return compileWith(n, env, true)
+}
+
+// RunDirect executes a direct-mode program: Run minus the
+// pending-write machinery.  The compile-time analysis guarantees the
+// observable behaviour matches Run of the buffered form exactly,
+// including which error surfaces first.
+func (p *Prog) RunDirect(m Machine, ctx *Ctx) error {
+	ctx.m = m
+	if p.nTemps > 0 {
+		if cap(ctx.temps) < p.nTemps {
+			ctx.temps = make([]uint64, p.nTemps)
+		} else {
+			ctx.temps = ctx.temps[:p.nTemps]
+			for i := range ctx.temps {
+				ctx.temps[i] = 0
+			}
+		}
+	}
+	for _, op := range p.flat {
+		if err := op(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DirectOps exposes a direct-mode program as its flat operation list
+// so a caller's inner loop can run the ops without the per-program
+// RunDirect call (which shows up in emulator profiles).  Only
+// temp-free direct programs qualify — their ops share one bound Ctx
+// with no per-program reset; others return nil and must go through
+// RunDirect.
+func (p *Prog) DirectOps() []OpFunc {
+	if !p.direct || p.nTemps > 0 {
+		return nil
+	}
+	return p.flat
+}
+
+// Bind points ctx at m for subsequent DirectOps execution.  Run and
+// RunDirect bind implicitly; this is only needed when driving ops
+// directly.
+func (ctx *Ctx) Bind(m Machine) { ctx.m = m }
+
+// regLoc identifies one constant-index register in the write set.
+type regLoc struct {
+	file string
+	idx  int64
+}
+
+// directAnalysis carries the per-step proof state for CompileDirect.
+// The zero value starts a step with nothing written.
+type directAnalysis struct {
+	wReg      map[regLoc]bool // constant-index registers written
+	wFile     map[string]bool // dynamic-index write: whole file dirty
+	wMem      bool
+	wPC       bool
+	committed bool // some state write has been issued this step
+	poisoned  bool // trap/special seen: nothing may follow in-step
+	failed    bool
+
+	// permuted marks a retry attempt lowering the step's ops in a
+	// non-program order (see lowerStep).  The ops of a parallel step
+	// commute only if distinct serializations are indistinguishable,
+	// which needs two conditions beyond the usual rules: no two ops
+	// write the same location (the last commit would win, and order is
+	// no longer program order), and no op can fail at run time (an
+	// error would surface in attempt order, not program order) — reads
+	// of a constant register are the one failure source exempted,
+	// since compiled semantics only name files the description defines.
+	permuted bool
+}
+
+func (a *directAnalysis) resetStep() {
+	a.wReg, a.wFile = nil, nil
+	a.wMem, a.wPC, a.committed, a.poisoned = false, false, false, false
+	a.permuted, a.failed = false, false
+}
+
+// gate is the common prologue of every note: once poisoned (a
+// trap/special ran), any further activity in the step is unprovable.
+func (a *directAnalysis) gate() bool {
+	if a == nil || a.failed {
+		return false
+	}
+	if a.poisoned {
+		a.failed = true
+		return false
+	}
+	return true
+}
+
+func (a *directAnalysis) regRead(file string, idx int64) {
+	if !a.gate() {
+		return
+	}
+	if a.wFile[file] || a.wReg[regLoc{file, idx}] {
+		a.failed = true
+	}
+}
+
+func (a *directAnalysis) regReadDyn(file string) {
+	if !a.gate() {
+		return
+	}
+	// A dynamic index may alias any written register of the file, and
+	// its read can fail at run time (rule 2; fatal under permutation).
+	if a.committed || a.wFile[file] || a.permuted {
+		a.failed = true
+		return
+	}
+	for loc := range a.wReg {
+		if loc.file == file {
+			a.failed = true
+			return
+		}
+	}
+}
+
+func (a *directAnalysis) memRead() {
+	if !a.gate() {
+		return
+	}
+	// Memory reads can fault (rule 2) and may alias any earlier
+	// memory write (rule 1); a fault is also an error whose order a
+	// permuted serialization would not preserve.
+	if a.committed || a.wMem || a.permuted {
+		a.failed = true
+	}
+}
+
+func (a *directAnalysis) pcRead() {
+	if !a.gate() {
+		return
+	}
+	if a.wPC {
+		a.failed = true
+	}
+}
+
+// mayErr marks an evaluation-time failure point (division, missing
+// else arm): fatal once anything has committed, and fatal outright
+// under permutation (error order must stay program order).
+func (a *directAnalysis) mayErr() {
+	if !a.gate() {
+		return
+	}
+	if a.committed || a.permuted {
+		a.failed = true
+	}
+}
+
+func (a *directAnalysis) regWrite(file string, idx int64) {
+	if !a.gate() {
+		return
+	}
+	if a.permuted && (a.wFile[file] || a.wReg[regLoc{file, idx}]) {
+		a.failed = true // reordered write-after-write: wrong last writer
+		return
+	}
+	if a.wReg == nil {
+		a.wReg = map[regLoc]bool{}
+	}
+	a.wReg[regLoc{file, idx}] = true
+	a.committed = true
+}
+
+func (a *directAnalysis) regWriteDyn(file string) {
+	if !a.gate() {
+		return
+	}
+	if a.permuted {
+		// May alias any other write of the file, and indexing can fail.
+		a.failed = true
+		return
+	}
+	if a.wFile == nil {
+		a.wFile = map[string]bool{}
+	}
+	a.wFile[file] = true
+	a.committed = true
+}
+
+func (a *directAnalysis) memWrite() {
+	if !a.gate() {
+		return
+	}
+	if a.permuted {
+		// Stores may alias each other and can fail at run time;
+		// neither ordering effect survives a reordered step.
+		a.failed = true
+		return
+	}
+	a.wMem = true
+	a.committed = true
+}
+
+func (a *directAnalysis) pcWrite() {
+	if !a.gate() {
+		return
+	}
+	if a.permuted && a.wPC {
+		a.failed = true
+		return
+	}
+	a.wPC = true
+	a.committed = true
+}
+
+// exclusive admits a trap or register-window special only as the
+// step's sole operation (rule 3): it must see an untouched step and
+// poisons the rest of it.
+func (a *directAnalysis) exclusive() {
+	if !a.gate() {
+		return
+	}
+	if a.committed || a.wMem || a.wPC || len(a.wReg) > 0 || len(a.wFile) > 0 {
+		a.failed = true
+		return
+	}
+	a.poisoned = true
+}

@@ -659,50 +659,54 @@ func ccLogic(r uint32) uint64 {
 // register value.  Integer tests read NZVC from PSR bits 23:20;
 // floating tests (f-prefixed) read fcc from FSR bits 11:10.
 func condTest(name string, regVal uint64, at Node) (uint64, error) {
-	icc := (regVal >> 20) & 0xF
-	n := icc>>3&1 != 0
-	z := icc>>2&1 != 0
-	v := icc>>1&1 != 0
-	c := icc&1 != 0
-	switch name {
-	case "a":
-		return 1, nil
-	case "n":
-		return 0, nil
-	case "ne":
-		return b2u(!z), nil
-	case "e":
-		return b2u(z), nil
-	case "g":
-		return b2u(!(z || (n != v))), nil
-	case "le":
-		return b2u(z || (n != v)), nil
-	case "ge":
-		return b2u(n == v), nil
-	case "l":
-		return b2u(n != v), nil
-	case "gu":
-		return b2u(!(c || z)), nil
-	case "leu":
-		return b2u(c || z), nil
-	case "cc":
-		return b2u(!c), nil
-	case "cs":
-		return b2u(c), nil
-	case "pos":
-		return b2u(!n), nil
-	case "neg":
-		return b2u(n), nil
-	case "vc":
-		return b2u(!v), nil
-	case "vs":
-		return b2u(v), nil
-	}
-	if set, ok := fccSets[name]; ok {
-		fcc := (regVal >> 10) & 3
-		return b2u(set&(1<<fcc) != 0), nil
+	if fn, ok := condTestFn(name); ok {
+		return fn(regVal), nil
 	}
 	return 0, &EvalError{at, "unknown condition test '" + name}
+}
+
+// condTestFn resolves a condition symbol to a pure test function.
+// The compiler binds the function once per instruction, so executed
+// branches neither construct errors nor box AST context into an
+// interface — condTest's signature did both, one heap allocation per
+// dynamic condition evaluation in translated code.
+func condTestFn(name string) (func(uint64) uint64, bool) {
+	fn, ok := condTests[name]
+	return fn, ok
+}
+
+// nzvc unpacks the integer condition codes from a PSR value.
+func nzvc(r uint64) (n, z, v, c bool) {
+	return r>>23&1 != 0, r>>22&1 != 0, r>>21&1 != 0, r>>20&1 != 0
+}
+
+var condTests = map[string]func(uint64) uint64{
+	"a":   func(uint64) uint64 { return 1 },
+	"n":   func(uint64) uint64 { return 0 },
+	"ne":  func(r uint64) uint64 { _, z, _, _ := nzvc(r); return b2u(!z) },
+	"e":   func(r uint64) uint64 { _, z, _, _ := nzvc(r); return b2u(z) },
+	"g":   func(r uint64) uint64 { n, z, v, _ := nzvc(r); return b2u(!(z || (n != v))) },
+	"le":  func(r uint64) uint64 { n, z, v, _ := nzvc(r); return b2u(z || (n != v)) },
+	"ge":  func(r uint64) uint64 { n, _, v, _ := nzvc(r); return b2u(n == v) },
+	"l":   func(r uint64) uint64 { n, _, v, _ := nzvc(r); return b2u(n != v) },
+	"gu":  func(r uint64) uint64 { _, z, _, c := nzvc(r); return b2u(!(c || z)) },
+	"leu": func(r uint64) uint64 { _, z, _, c := nzvc(r); return b2u(c || z) },
+	"cc":  func(r uint64) uint64 { _, _, _, c := nzvc(r); return b2u(!c) },
+	"cs":  func(r uint64) uint64 { _, _, _, c := nzvc(r); return b2u(c) },
+	"pos": func(r uint64) uint64 { n, _, _, _ := nzvc(r); return b2u(!n) },
+	"neg": func(r uint64) uint64 { n, _, _, _ := nzvc(r); return b2u(n) },
+	"vc":  func(r uint64) uint64 { _, _, v, _ := nzvc(r); return b2u(!v) },
+	"vs":  func(r uint64) uint64 { _, _, v, _ := nzvc(r); return b2u(v) },
+}
+
+func init() {
+	for name, set := range fccSets {
+		s := set
+		condTests[name] = func(r uint64) uint64 {
+			fcc := (r >> 10) & 3
+			return b2u(s&(1<<fcc) != 0)
+		}
+	}
 }
 
 // fccSets maps floating-point branch conditions to the set of fcc

@@ -9,15 +9,28 @@
 // branches and annulled slots continue inside the block, and tight
 // loops whose target lies in the block never leave it.
 //
+// Control stays out of the central dispatcher between blocks too
+// (see runChained in sim.go): every block records, per exit site, the
+// successor block last observed there.  Static exits act as direct
+// chain links; indirect exits (jmpl/ret/dispatch tables) use the same
+// slot as a monomorphic inline cache, with a shared hashed victim
+// table as a second level behind the direct-mapped cache.  Hot block
+// anchors are re-translated into traces — longer superblocks that
+// follow the observed hot path across block boundaries, biased by
+// per-exit transition counts.  Every cached pointer is validated by
+// the generation counter, and invalidation runs a bounded
+// chain-unlinking pass over the blocks built since the last flush, so
+// self-modifying-code handling stays exact and O(affected blocks).
+//
 // Architected behaviour is bit-identical to the interpreter: each
 // block step mirrors Step minus fetch/decode and shares finishStep,
 // so delayed branches, annulled slots, register windows, traps,
 // InstCount and AnnulCount agree exactly (the differential tests in
-// jit_test.go prove it).  The engine deoptimizes to Step whenever
-// OnExec is set, the pc leaves translated text, or an instruction
-// cannot be compiled — and cached blocks are invalidated when text
-// memory is written (self-modifying edits) or the CPU is Reset onto a
-// new executable.
+// jit_test.go and the three-way fuzz lockstep prove it).  The engine
+// deoptimizes to Step whenever OnExec is set, the pc leaves
+// translated text, or an instruction cannot be compiled — and cached
+// blocks are invalidated when text memory is written (self-modifying
+// edits) or the CPU is Reset onto a new executable.
 package sim
 
 import (
@@ -33,28 +46,84 @@ const (
 	tcEntries = 1 << 12
 	// tcMaxBlock bounds superblock length in instructions.
 	tcMaxBlock = 64
+	// vtEntries sizes the hashed victim table that backs the
+	// direct-mapped cache: conflict-evicted blocks land here and are
+	// promoted back on a hit instead of being rebuilt.
+	vtEntries = 1 << 9
+	// traceHotThreshold is the number of anchor entries after which a
+	// linear block is re-translated into a trace.
+	traceHotThreshold = 64
+	// traceSiteMin is the minimum transition count an exit site needs
+	// before it may steer trace extension, and a site must also carry
+	// a strict majority of its block's observed exits.
+	traceSiteMin = 16
+	// traceMaxInsts / traceMaxSegs bound trace size.
+	traceMaxInsts = 256
+	traceMaxSegs  = 8
 )
 
 // compiledInst is one translated instruction: the interned decoded
-// instruction plus its compiled semantics.
+// instruction plus its compiled semantics and its text address (trace
+// blocks are not contiguous, so each entry carries its own pc).
 type compiledInst struct {
 	inst *machine.Inst
 	prog *rtl.Prog
+	pc   uint32
+}
+
+// exitSlot caches the successor last seen leaving a block at one exit
+// site.  For exits reached through a static branch or fall-through it
+// is a direct chain link; for indirect transfers it is a monomorphic
+// inline cache keyed by pc.  count biases trace extension toward the
+// dominant exit.
+type exitSlot struct {
+	blk      *tblock
+	pc       uint32
+	count    uint32
+	indirect bool
 }
 
 // tblock is a superblock: compiled instructions for the text run
 // starting at pc.  A block with no instructions marks an address the
 // engine must interpret (invalid word, uncompilable semantics).
+// exits parallels insts: slot i caches the successor for exits whose
+// last executed instruction was insts[i].  gen records the cache
+// generation the block was built in; a chain pointer may be followed
+// only while the generations still match.
 type tblock struct {
-	pc    uint32
-	insts []compiledInst
+	pc     uint32
+	insts  []compiledInst
+	exits  []exitSlot
+	gen    uint64
+	enters uint64
+	trace  bool
+
+	// Hot-tier re-translation (see promote): fast[i], when non-nil,
+	// is insts[i]'s direct-commit program, which executes without the
+	// pending-write machinery; lean[i] additionally marks it free of
+	// control effects (no pc write, annul or trap), admitting the
+	// short pipeline advance.  ops[i], when non-nil, is the same
+	// program as a flat op list run inline by the exec loops (skipping
+	// the per-instruction RunDirect call), and memw[i] marks the
+	// instructions that can write memory — the only ones whose
+	// execution can invalidate the cache, so the others skip the
+	// generation re-check.  Cold blocks leave all four nil.
+	fast []*rtl.Prog
+	lean []bool
+	ops  [][]rtl.OpFunc
+	memw []bool
 }
 
 // transCache is a direct-mapped translation cache plus its
 // generation counter, bumped on every invalidation so in-flight
-// superblocks notice text writes mid-run.
+// superblocks notice text writes mid-run.  blocks registers every
+// block built since the last flush so invalidation and trace
+// installation can sever chain pointers without scanning the whole
+// cache.
 type transCache struct {
 	entries [tcEntries]*tblock
+	victims [vtEntries]*tblock
+	blocks  []*tblock
 	gen     uint64
 
 	// counters for introspection and tests (see CPU.Counters and
@@ -63,14 +132,34 @@ type transCache struct {
 	builds  uint64
 	flushes uint64
 	deopts  uint64
+
+	chainHits   uint64
+	chainMisses uint64
+	icHits      uint64
+	icMisses    uint64
+	victimHits  uint64
+
+	traces        uint64
+	tracesRetired uint64
 }
 
 func tcIndex(pc uint32) uint32 { return (pc >> 2) & (tcEntries - 1) }
+
+// vtIndex hashes a block anchor into the victim table.  Colliding
+// anchors differ in bits above the direct-mapped index, so a
+// multiplicative hash keeps them from colliding here too.
+func vtIndex(pc uint32) uint32 { return ((pc >> 2) * 0x9e3779b1) >> (32 - 9) }
 
 // InvalidateText discards every cached translation block.  It is
 // called automatically when a watched text write occurs or the CPU is
 // Reset; callers that mutate text bypassing Memory (or change
 // TextStart/TextEnd) should call it directly.
+//
+// Besides bumping the generation and clearing both cache levels, it
+// severs every chain pointer installed since the last flush (the
+// chain-unlinking pass): a caller holding a stale block reference can
+// then never re-enter retired code through a link, and the work is
+// bounded by the number of blocks actually built.
 func (c *CPU) InvalidateText() {
 	if c.tc == nil {
 		return
@@ -80,6 +169,18 @@ func (c *CPU) InvalidateText() {
 	for i := range c.tc.entries {
 		c.tc.entries[i] = nil
 	}
+	for i := range c.tc.victims {
+		c.tc.victims[i] = nil
+	}
+	for _, b := range c.tc.blocks {
+		if b.trace {
+			c.tc.tracesRetired++
+		}
+		for i := range b.exits {
+			b.exits[i].blk = nil
+		}
+	}
+	c.tc.blocks = c.tc.blocks[:0]
 	telemetry.ActiveTracer().Instant("sim.jit.invalidate", "sim")
 }
 
@@ -93,7 +194,9 @@ func (c *CPU) TranslationStats() (builds, flushes uint64) {
 }
 
 // block returns the translation block anchored at pc, building (and
-// caching) it on a miss.
+// caching) it on a miss.  Conflict-evicted blocks are demoted to the
+// victim table and promoted back — rather than rebuilt — when their
+// anchor comes around again.
 func (c *CPU) block(pc uint32) *tblock {
 	if c.tc == nil {
 		c.tc = &transCache{}
@@ -104,10 +207,51 @@ func (c *CPU) block(pc uint32) *tblock {
 	if b := c.tc.entries[i]; b != nil && b.pc == pc {
 		return b
 	}
+	if vi := vtIndex(pc); c.tc.victims[vi] != nil {
+		if b := c.tc.victims[vi]; b.pc == pc && b.gen == c.tc.gen {
+			c.tc.victims[vi] = nil
+			c.tc.victimHits++
+			c.install(i, b)
+			return b
+		}
+	}
 	b := c.buildBlock(pc)
-	c.tc.entries[i] = b
+	b.gen = c.tc.gen
+	b.exits = make([]exitSlot, len(b.insts))
+	for j := range b.insts {
+		b.exits[j].indirect = indirectTransfer(b.insts[j].inst) ||
+			(j > 0 && indirectTransfer(b.insts[j-1].inst))
+	}
+	c.install(i, b)
+	c.tc.blocks = append(c.tc.blocks, b)
 	c.tc.builds++
 	return b
+}
+
+// install places b in its direct-mapped slot, demoting any
+// different-anchor occupant to the victim table so colliding hot
+// blocks displace rather than destroy each other.
+func (c *CPU) install(i uint32, b *tblock) {
+	if old := c.tc.entries[i]; old != nil && old.pc != b.pc {
+		c.tc.victims[vtIndex(old.pc)] = old
+	}
+	c.tc.entries[i] = b
+}
+
+// unlink severs every chain pointer to dead (bounded by the blocks
+// built since the last flush) and drops it from the victim table, so
+// a replaced translation cannot be re-entered through a link.
+func (c *CPU) unlink(dead *tblock) {
+	for _, b := range c.tc.blocks {
+		for i := range b.exits {
+			if b.exits[i].blk == dead {
+				b.exits[i].blk = nil
+			}
+		}
+	}
+	if vi := vtIndex(dead.pc); c.tc.victims[vi] == dead {
+		c.tc.victims[vi] = nil
+	}
 }
 
 // buildBlock translates the straight-line run starting at pc.  It
@@ -135,7 +279,7 @@ func (c *CPU) buildBlock(pc uint32) *tblock {
 		if err != nil {
 			break
 		}
-		b.insts = append(b.insts, compiledInst{inst: inst, prog: prog})
+		b.insts = append(b.insts, compiledInst{inst: inst, prog: prog, pc: addr})
 		if slotsLeft > 0 {
 			slotsLeft--
 		} else if uncondTransfer(inst) {
@@ -143,6 +287,42 @@ func (c *CPU) buildBlock(pc uint32) *tblock {
 		}
 	}
 	return b
+}
+
+// promote re-translates a hot block's instructions into the direct
+// tier: each semantic program that rtl.CompileDirect can prove
+// reorder-safe is swapped in, committing writes immediately instead
+// of buffering them per step.  Instructions whose semantics resist
+// the proof (swap, cc ops overwriting their own source, register
+// windows sharing a step) simply keep the buffered program — the two
+// tiers interleave freely within a block because each instruction's
+// observable behaviour is identical either way.  Only the chained
+// engine promotes, so the NoChain baseline keeps measuring the
+// dispatcher-era execution path unchanged.
+func (c *CPU) promote(b *tblock) {
+	if b.fast != nil {
+		return
+	}
+	b.fast = make([]*rtl.Prog, len(b.insts))
+	b.lean = make([]bool, len(b.insts))
+	b.ops = make([][]rtl.OpFunc, len(b.insts))
+	b.memw = make([]bool, len(b.insts))
+	for i := range b.insts {
+		sem, ok := b.insts[i].inst.Sem().(*spawn.InstSem)
+		if !ok {
+			b.memw[i] = true
+			continue
+		}
+		p := sem.CompiledDirect()
+		if p == nil {
+			b.memw[i] = true // conservatively re-check gen after it
+			continue
+		}
+		b.fast[i] = p
+		b.lean[i] = p.Flags()&(rtl.FlagPC|rtl.FlagAnnul|rtl.FlagTrap) == 0
+		b.ops[i] = p.DirectOps()
+		b.memw[i] = p.Flags()&rtl.FlagMemWrite != 0
+	}
 }
 
 // uncondTransfer reports whether inst always leaves the fall-through
@@ -156,38 +336,269 @@ func uncondTransfer(inst *machine.Inst) bool {
 	return false
 }
 
+// indirectTransfer reports whether inst's target is computed at run
+// time, so an exit attributed to it (or to its delay slot) behaves as
+// an inline-cache site rather than a direct chain link.
+func indirectTransfer(inst *machine.Inst) bool {
+	switch inst.Category() {
+	case machine.CatJumpIndirect, machine.CatCallIndirect, machine.CatReturn:
+		return true
+	}
+	return false
+}
+
 // runBlock executes translated instructions for as long as the pc
 // stays inside b, mirroring Step exactly (minus fetch and decode).
 // It returns with no error whenever the generic loop must take over:
 // pc left the block, the step limit was reached, or a text write
-// invalidated the cache mid-block.
+// invalidated the cache mid-block.  This is the whole NoChain engine;
+// the chained engine drives the same core through runChained.
 func (c *CPU) runBlock(b *tblock, maxSteps uint64) error {
-	gen := c.tc.gen
+	_, _, err := c.execLinear(b, maxSteps, c.tc.gen)
+	return err
+}
+
+// execLinear is the superblock execution core.  It runs until the pc
+// leaves b or execution must stop, and reports the index of the last
+// executed instruction (-1 if none ran) so the caller can attribute
+// the exit to a chain slot.  stop is true when control must return to
+// the dispatcher regardless of chaining: halt, step limit, or a
+// mid-run cache invalidation.
+func (c *CPU) execLinear(b *tblock, maxSteps uint64, gen uint64) (last int, stop bool, err error) {
+	last = -1
+	insts := b.insts
+	fast := b.fast
+	if c.prof != nil {
+		fast = nil // profiled runs keep the fully-instrumented path
+	}
+	c.rtlCtx.Bind(&c.env)
 	for {
 		off := c.PC - b.pc
-		if off&3 != 0 || off>>2 >= uint32(len(b.insts)) {
-			return nil
+		if off&3 != 0 || off>>2 >= uint32(len(insts)) {
+			return last, false, nil
 		}
 		if c.InstCount >= maxSteps {
-			return nil // outer loop raises ErrStepLimit at this pc
+			return last, true, nil // outer loop raises ErrStepLimit at this pc
 		}
-		ci := &b.insts[off>>2]
+		i := int(off >> 2)
+		if fast != nil && fast[i] != nil {
+			if b.lean[i] {
+				// Hot tier, no control effects: direct write commits
+				// and a pipeline advance that reduces to a sequential
+				// shift (NPC already encodes any pending delayed
+				// target, so this is exact even in a delay slot).
+				// Temp-free programs run as inline op lists; only
+				// memory-writing instructions can invalidate the
+				// cache, so the rest skip the generation re-check.
+				if ops := b.ops[i]; ops != nil {
+					for _, op := range ops {
+						if err := op(&c.rtlCtx); err != nil {
+							return last, true, &Fault{c.PC, err}
+						}
+					}
+				} else if err := fast[i].RunDirect(&c.env, &c.rtlCtx); err != nil {
+					return last, true, &Fault{c.PC, err}
+				}
+				c.InstCount++
+				last = i
+				c.PC = c.NPC
+				c.NPC += 4
+				if b.memw[i] && c.tc.gen != gen {
+					return last, true, nil
+				}
+				continue
+			}
+			// Hot tier with control effects (branch, call, trap):
+			// direct commits but the full pipeline bookkeeping.
+			c.hasDelayed, c.hasImmediate = false, false
+			annulBefore := c.annulNext
+			if err := fast[i].RunDirect(&c.env, &c.rtlCtx); err != nil {
+				return last, true, &Fault{c.PC, err}
+			}
+			c.InstCount++
+			last = i
+			if c.Halted {
+				return last, true, nil
+			}
+			c.finishStep(annulBefore)
+			if c.tc.gen != gen {
+				return last, true, nil
+			}
+			continue
+		}
+		ci := &insts[i]
 		c.curInst = ci.inst
 		c.hasDelayed, c.hasImmediate = false, false
 		annulBefore := c.annulNext
 		if err := ci.prog.Run(&c.env, &c.rtlCtx); err != nil {
-			return &Fault{c.PC, err}
+			return last, true, &Fault{c.PC, err}
 		}
 		c.InstCount++
+		last = i
 		if c.prof != nil {
 			c.prof.record(c.PC, ci.inst, c.hasImmediate || c.hasDelayed)
 		}
 		if c.Halted {
-			return nil
+			return last, true, nil
 		}
 		c.finishStep(annulBefore)
 		if c.tc.gen != gen {
-			return nil // text was written; b may be stale
+			return last, true, nil // text was written; b may be stale
 		}
 	}
+}
+
+// execTrace executes a trace block.  Trace entries are not contiguous
+// in memory, so instead of pc arithmetic each executed instruction is
+// checked against the recorded pc of the next entry: a mismatch is a
+// side exit (the observed hot path was not taken this time), and a pc
+// equal to the trace head closes the loop without leaving translated
+// code.  The contract with execLinear is identical.
+func (c *CPU) execTrace(b *tblock, maxSteps uint64, gen uint64) (last int, stop bool, err error) {
+	last = -1
+	insts := b.insts
+	fast := b.fast
+	if c.prof != nil {
+		fast = nil // profiled runs keep the fully-instrumented path
+	}
+	if c.PC != b.pc {
+		return last, false, nil
+	}
+	c.rtlCtx.Bind(&c.env)
+	for i := 0; ; {
+		if c.InstCount >= maxSteps {
+			return last, true, nil
+		}
+		if fast != nil && fast[i] != nil {
+			if b.lean[i] {
+				if ops := b.ops[i]; ops != nil {
+					for _, op := range ops {
+						if err := op(&c.rtlCtx); err != nil {
+							return last, true, &Fault{c.PC, err}
+						}
+					}
+				} else if err := fast[i].RunDirect(&c.env, &c.rtlCtx); err != nil {
+					return last, true, &Fault{c.PC, err}
+				}
+				c.InstCount++
+				last = i
+				c.PC = c.NPC
+				c.NPC += 4
+				if !b.memw[i] {
+					// Only a memory write can invalidate the cache;
+					// skip straight to the next-entry guard.
+					goto advance
+				}
+			} else {
+				c.hasDelayed, c.hasImmediate = false, false
+				annulBefore := c.annulNext
+				if err := fast[i].RunDirect(&c.env, &c.rtlCtx); err != nil {
+					return last, true, &Fault{c.PC, err}
+				}
+				c.InstCount++
+				last = i
+				if c.Halted {
+					return last, true, nil
+				}
+				c.finishStep(annulBefore)
+			}
+		} else {
+			ci := &insts[i]
+			c.curInst = ci.inst
+			c.hasDelayed, c.hasImmediate = false, false
+			annulBefore := c.annulNext
+			if err := ci.prog.Run(&c.env, &c.rtlCtx); err != nil {
+				return last, true, &Fault{c.PC, err}
+			}
+			c.InstCount++
+			last = i
+			if c.prof != nil {
+				c.prof.record(c.PC, ci.inst, c.hasImmediate || c.hasDelayed)
+			}
+			if c.Halted {
+				return last, true, nil
+			}
+			c.finishStep(annulBefore)
+		}
+		if c.tc.gen != gen {
+			return last, true, nil
+		}
+	advance:
+		i++
+		if i < len(insts) && insts[i].pc == c.PC {
+			continue
+		}
+		if c.PC == b.pc {
+			i = 0 // loop closed back to the trace head
+			continue
+		}
+		return last, false, nil
+	}
+}
+
+// dominantExit picks the exit site carrying a strict majority of b's
+// observed exits (and at least traceSiteMin transitions), returning
+// the successor pc recorded there.  Blocks without a clearly biased
+// exit do not steer trace extension.
+func dominantExit(b *tblock) (site int, target uint32, ok bool) {
+	var total uint64
+	best, bestN := -1, uint32(0)
+	for i := range b.exits {
+		n := b.exits[i].count
+		total += uint64(n)
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	if best < 0 || bestN < traceSiteMin || uint64(bestN)*2 <= total {
+		return 0, 0, false
+	}
+	s := &b.exits[best]
+	if s.blk == nil {
+		return 0, 0, false
+	}
+	return best, s.pc, true
+}
+
+// buildTrace re-translates the hot block head into a trace: a longer
+// superblock following the observed dominant path across block
+// boundaries, cut at each segment's majority exit.  The trace
+// replaces head in the direct-mapped slot (chains into head are
+// severed so the trace captures future entries); it returns nil when
+// no extension is profitable.  Traces rely on no extra invariants:
+// each executed entry is pc-guarded by execTrace and the generation
+// counter, so a mispredicted path or text write simply side-exits.
+func (c *CPU) buildTrace(head *tblock) *tblock {
+	t := &tblock{pc: head.pc, trace: true, gen: c.tc.gen}
+	cur := head
+	for seg := 0; seg < traceMaxSegs; seg++ {
+		site, target, ok := dominantExit(cur)
+		if !ok {
+			t.insts = append(t.insts, cur.insts...)
+			break
+		}
+		t.insts = append(t.insts, cur.insts[:site+1]...)
+		if len(t.insts) >= traceMaxInsts || target == head.pc {
+			break
+		}
+		nb := c.block(target)
+		if len(nb.insts) == 0 || nb.trace {
+			break
+		}
+		cur = nb
+	}
+	if len(t.insts) <= len(head.insts) {
+		return nil
+	}
+	t.exits = make([]exitSlot, len(t.insts))
+	for j := range t.insts {
+		t.exits[j].indirect = indirectTransfer(t.insts[j].inst) ||
+			(j > 0 && indirectTransfer(t.insts[j-1].inst))
+	}
+	c.promote(t) // traces are hot by construction
+	c.unlink(head)
+	c.install(tcIndex(head.pc), t)
+	c.tc.blocks = append(c.tc.blocks, t)
+	c.tc.traces++
+	return t
 }

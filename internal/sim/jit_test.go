@@ -12,16 +12,16 @@ import (
 
 // runMode executes f to completion in the chosen engine and returns
 // the final CPU and its output.
-func runMode(t *testing.T, f *binfile.File, nojit bool) (*CPU, []byte) {
+func runMode(t *testing.T, f *binfile.File, nojit, nochain bool) (*CPU, []byte) {
 	t.Helper()
 	var out bytes.Buffer
 	cpu := LoadFile(f, &out)
-	cpu.NoJIT = nojit
+	cpu.NoJIT, cpu.NoChain = nojit, nochain
 	if err := cpu.Run(500_000_000); err != nil {
-		t.Fatalf("run (nojit=%v): %v", nojit, err)
+		t.Fatalf("run (nojit=%v nochain=%v): %v", nojit, nochain, err)
 	}
 	if !cpu.Halted {
-		t.Fatalf("program did not halt (nojit=%v)", nojit)
+		t.Fatalf("program did not halt (nojit=%v nochain=%v)", nojit, nochain)
 	}
 	return cpu, out.Bytes()
 }
@@ -63,46 +63,56 @@ func TestTranslatedMatchesInterpreter(t *testing.T) {
 			return c
 		}()},
 	}
+	engines := []struct {
+		name    string
+		nojit   bool
+		nochain bool
+	}{
+		{"translated", false, true},
+		{"chained", false, false},
+	}
 	for _, tc := range configs {
 		t.Run(tc.name, func(t *testing.T) {
 			p, err := progen.Generate(tc.cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
-			interp, interpOut := runMode(t, p.File, true)
-			trans, transOut := runMode(t, p.File, false)
+			interp, interpOut := runMode(t, p.File, true, false)
+			for _, eng := range engines {
+				trans, transOut := runMode(t, p.File, eng.nojit, eng.nochain)
 
-			if interp.ExitCode != trans.ExitCode {
-				t.Errorf("exit code: interp %d, translated %d", interp.ExitCode, trans.ExitCode)
-			}
-			if !bytes.Equal(interpOut, transOut) {
-				t.Errorf("output diverged: interp %d bytes, translated %d bytes", len(interpOut), len(transOut))
-			}
-			if interp.InstCount != trans.InstCount {
-				t.Errorf("InstCount: interp %d, translated %d", interp.InstCount, trans.InstCount)
-			}
-			if interp.AnnulCount != trans.AnnulCount {
-				t.Errorf("AnnulCount: interp %d, translated %d", interp.AnnulCount, trans.AnnulCount)
-			}
-			if interp.R != trans.R {
-				t.Errorf("integer registers diverged:\ninterp     %v\ntranslated %v", interp.R, trans.R)
-			}
-			if interp.F != trans.F {
-				t.Errorf("float registers diverged")
-			}
-			if interp.Y != trans.Y || interp.PSR != trans.PSR || interp.FSR != trans.FSR {
-				t.Errorf("special registers diverged: Y %x/%x PSR %x/%x FSR %x/%x",
-					interp.Y, trans.Y, interp.PSR, trans.PSR, interp.FSR, trans.FSR)
-			}
-			if len(interp.windows) != len(trans.windows) {
-				t.Errorf("window depth: interp %d, translated %d", len(interp.windows), len(trans.windows))
-			}
-			if addr, ok := interp.Mem.Diff(trans.Mem); !ok {
-				t.Errorf("memory diverged at %#x: interp %#x, translated %#x",
-					addr, interp.Mem.ByteAt(addr), trans.Mem.ByteAt(addr))
-			}
-			if builds, _ := trans.TranslationStats(); builds == 0 {
-				t.Error("translation cache built no blocks; jit path not exercised")
+				if interp.ExitCode != trans.ExitCode {
+					t.Errorf("%s: exit code: interp %d, got %d", eng.name, interp.ExitCode, trans.ExitCode)
+				}
+				if !bytes.Equal(interpOut, transOut) {
+					t.Errorf("%s: output diverged: interp %d bytes, got %d bytes", eng.name, len(interpOut), len(transOut))
+				}
+				if interp.InstCount != trans.InstCount {
+					t.Errorf("%s: InstCount: interp %d, got %d", eng.name, interp.InstCount, trans.InstCount)
+				}
+				if interp.AnnulCount != trans.AnnulCount {
+					t.Errorf("%s: AnnulCount: interp %d, got %d", eng.name, interp.AnnulCount, trans.AnnulCount)
+				}
+				if interp.R != trans.R {
+					t.Errorf("%s: integer registers diverged:\ninterp %v\ngot    %v", eng.name, interp.R, trans.R)
+				}
+				if interp.F != trans.F {
+					t.Errorf("%s: float registers diverged", eng.name)
+				}
+				if interp.Y != trans.Y || interp.PSR != trans.PSR || interp.FSR != trans.FSR {
+					t.Errorf("%s: special registers diverged: Y %x/%x PSR %x/%x FSR %x/%x",
+						eng.name, interp.Y, trans.Y, interp.PSR, trans.PSR, interp.FSR, trans.FSR)
+				}
+				if len(interp.windows) != len(trans.windows) {
+					t.Errorf("%s: window depth: interp %d, got %d", eng.name, len(interp.windows), len(trans.windows))
+				}
+				if addr, ok := interp.Mem.Diff(trans.Mem); !ok {
+					t.Errorf("%s: memory diverged at %#x: interp %#x, got %#x",
+						eng.name, addr, interp.Mem.ByteAt(addr), trans.Mem.ByteAt(addr))
+				}
+				if builds, _ := trans.TranslationStats(); builds == 0 {
+					t.Errorf("%s: translation cache built no blocks; jit path not exercised", eng.name)
+				}
 			}
 		})
 	}

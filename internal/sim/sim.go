@@ -211,6 +211,12 @@ type CPU struct {
 	// instead of the translation-cache engine.
 	NoJIT bool
 
+	// NoChain keeps the translation cache but disables block
+	// chaining, indirect-jump inline caches, and trace extension:
+	// every superblock exit returns to the dispatcher.  Useful for
+	// benchmarking the dispatch overhead and for bisecting engines.
+	NoChain bool
+
 	dec       *spawn.TableDecoder
 	windows   []window
 	annulNext bool
@@ -363,6 +369,15 @@ type Counters struct {
 	Builds  uint64 // superblocks translated
 	Flushes uint64 // whole-cache invalidations
 	Deopts  uint64 // interpreted steps taken because the pc had no translation
+
+	ChainHits   uint64 // block transitions served by a direct chain link
+	ChainMisses uint64 // static exits that had to re-probe the cache
+	ICHits      uint64 // indirect exits served by the inline cache
+	ICMisses    uint64 // indirect exits that had to re-probe the cache
+	VictimHits  uint64 // conflict-evicted blocks promoted back instead of rebuilt
+
+	Traces        uint64 // traces built from hot block heads
+	TracesRetired uint64 // traces discarded by text invalidation
 }
 
 // Counters returns the current counter snapshot.
@@ -370,18 +385,27 @@ func (c *CPU) Counters() Counters {
 	k := Counters{Insts: c.InstCount, Annuls: c.AnnulCount}
 	if c.tc != nil {
 		k.Builds, k.Flushes, k.Deopts = c.tc.builds, c.tc.flushes, c.tc.deopts
+		k.ChainHits, k.ChainMisses = c.tc.chainHits, c.tc.chainMisses
+		k.ICHits, k.ICMisses = c.tc.icHits, c.tc.icMisses
+		k.VictimHits = c.tc.victimHits
+		k.Traces, k.TracesRetired = c.tc.traces, c.tc.tracesRetired
 	}
 	return k
 }
 
 // ResetCounters zeroes the translation-cache activity counters —
-// builds, flushes, deopts — without discarding cached translations.
-// A reused CPU otherwise accumulates them across Run invocations
-// (Reset zeroes only the architected InstCount/AnnulCount state),
-// which made per-run JIT accounting wrong.
+// builds, flushes, deopts, chaining and trace statistics — without
+// discarding cached translations.  A reused CPU otherwise accumulates
+// them across Run invocations (Reset zeroes only the architected
+// InstCount/AnnulCount state), which made per-run JIT accounting
+// wrong.
 func (c *CPU) ResetCounters() {
 	if c.tc != nil {
 		c.tc.builds, c.tc.flushes, c.tc.deopts = 0, 0, 0
+		c.tc.chainHits, c.tc.chainMisses = 0, 0
+		c.tc.icHits, c.tc.icMisses = 0, 0
+		c.tc.victimHits = 0
+		c.tc.traces, c.tc.tracesRetired = 0, 0
 	}
 }
 
@@ -408,21 +432,38 @@ func (c *CPU) Run(maxSteps uint64) error {
 	if tracer != nil || reg != nil {
 		after := c.Counters()
 		d := Counters{
-			Insts:   after.Insts - before.Insts,
-			Annuls:  after.Annuls - before.Annuls,
-			Builds:  after.Builds - before.Builds,
-			Flushes: after.Flushes - before.Flushes,
-			Deopts:  after.Deopts - before.Deopts,
+			Insts:       after.Insts - before.Insts,
+			Annuls:      after.Annuls - before.Annuls,
+			Builds:      after.Builds - before.Builds,
+			Flushes:     after.Flushes - before.Flushes,
+			Deopts:      after.Deopts - before.Deopts,
+			ChainHits:   after.ChainHits - before.ChainHits,
+			ChainMisses: after.ChainMisses - before.ChainMisses,
+			ICHits:      after.ICHits - before.ICHits,
+			ICMisses:    after.ICMisses - before.ICMisses,
+			VictimHits:  after.VictimHits - before.VictimHits,
+			Traces:      after.Traces - before.Traces,
+			TracesRetired: after.TracesRetired -
+				before.TracesRetired,
 		}
 		span.Arg("insts", d.Insts)
 		span.Arg("jit_builds", d.Builds)
 		span.Arg("jit_deopts", d.Deopts)
+		span.Arg("jit_chain_hits", d.ChainHits)
+		span.Arg("jit_traces", d.Traces)
 		if reg != nil {
 			reg.Counter("sim.insts").Add(d.Insts)
 			reg.Counter("sim.annuls").Add(d.Annuls)
 			reg.Counter("sim.jit.builds").Add(d.Builds)
 			reg.Counter("sim.jit.flushes").Add(d.Flushes)
 			reg.Counter("sim.jit.deopts").Add(d.Deopts)
+			reg.Counter("sim.jit.chain_hits").Add(d.ChainHits)
+			reg.Counter("sim.jit.chain_misses").Add(d.ChainMisses)
+			reg.Counter("sim.jit.ic_hits").Add(d.ICHits)
+			reg.Counter("sim.jit.ic_misses").Add(d.ICMisses)
+			reg.Counter("sim.jit.victim_hits").Add(d.VictimHits)
+			reg.Counter("sim.jit.traces").Add(d.Traces)
+			reg.Counter("sim.jit.traces_retired").Add(d.TracesRetired)
 		}
 	}
 	span.End()
@@ -456,11 +497,105 @@ func (c *CPU) run(maxSteps uint64) error {
 		if c.prof != nil {
 			c.prof.blockEnters[b.pc]++
 		}
-		if err := c.runBlock(b, maxSteps); err != nil {
+		var err error
+		if c.NoChain {
+			err = c.runBlock(b, maxSteps)
+		} else {
+			err = c.runChained(b, maxSteps)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// runChained executes b and keeps control inside translated code
+// across block boundaries: each exit consults the per-site chain
+// slot (a direct link for static exits, a monomorphic inline cache
+// for indirect ones) and transfers straight to the cached successor
+// when its anchor and generation still match.  Misses fall back to
+// the two-level cache probe; anything the cache cannot serve returns
+// to the dispatcher.  Hot anchors are re-translated into traces on
+// entry.  Every loop iteration enters a block exactly at its anchor
+// (the dispatcher, a chain hit, and a resolved miss all guarantee
+// c.PC == b.pc), which is what makes trace entry sound.
+func (c *CPU) runChained(b *tblock, maxSteps uint64) error {
+	gen := c.tc.gen
+	for {
+		b.enters++
+		if !b.trace && b.enters == traceHotThreshold {
+			if t := c.buildTrace(b); t != nil {
+				b = t
+			} else {
+				// No profitable extension, but the block is hot: still
+				// re-translate it in place onto the direct tier.
+				c.promote(b)
+			}
+		}
+		var last int
+		var stop bool
+		var err error
+		if b.trace {
+			last, stop, err = c.execTrace(b, maxSteps, gen)
+		} else {
+			last, stop, err = c.execLinear(b, maxSteps, gen)
+		}
+		if err != nil || stop {
+			return err
+		}
+		if last < 0 {
+			return nil // nothing executed; let the dispatcher resolve
+		}
+		// Mid-run engine changes (an OnExec hook installed by a
+		// syscall callback, say) deopt at block granularity, exactly
+		// as the dispatcher loop would.
+		if c.OnExec != nil || c.NoJIT || c.NoChain {
+			return nil
+		}
+		s := &b.exits[last]
+		if s.blk != nil && s.pc == c.PC && s.blk.gen == gen {
+			if s.count != ^uint32(0) {
+				s.count++
+			}
+			if s.indirect {
+				c.tc.icHits++
+			} else {
+				c.tc.chainHits++
+			}
+			b = s.blk
+		} else {
+			nb := c.chainTarget(s, c.PC)
+			if nb == nil {
+				return nil
+			}
+			b = nb
+		}
+		if c.prof != nil {
+			c.prof.blockEnters[b.pc]++
+		}
+	}
+}
+
+// chainTarget resolves a chain/IC miss: if the next pc is translatable
+// the successor is installed in the exit slot (retargeting the slot —
+// a megamorphic site simply keeps retargeting) and execution chains
+// on; otherwise the dispatcher takes over.
+func (c *CPU) chainTarget(s *exitSlot, pc uint32) *tblock {
+	if s.indirect {
+		c.tc.icMisses++
+	} else {
+		c.tc.chainMisses++
+	}
+	if pc&3 != 0 || pc < c.TextStart || pc >= c.TextEnd {
+		return nil
+	}
+	nb := c.block(pc)
+	if len(nb.insts) == 0 {
+		return nil
+	}
+	s.blk, s.pc, s.count = nb, pc, 1
+	return nb
 }
 
 // cpuEnv adapts CPU to rtl.Machine.  It is a type alias-style view so

@@ -173,11 +173,19 @@ type InstSem struct {
 	Fields map[string]uint32
 
 	compiled atomic.Pointer[compiledSem]
+	direct   atomic.Pointer[directSem]
 }
 
 type compiledSem struct {
 	prog *rtl.Prog
 	err  error
+}
+
+// directSem caches the direct-commit lowering; prog is nil when the
+// semantics are not direct-commitable (the cached negative keeps hot
+// re-translation from re-proving that every time).
+type directSem struct {
+	prog *rtl.Prog
 }
 
 // Compiled returns the instruction's semantics lowered once to an
@@ -200,6 +208,24 @@ func (s *InstSem) Compiled() (*rtl.Prog, error) {
 	telemetry.Default().Counter("rtl.compiles").Add(1)
 	s.compiled.Store(cs)
 	return cs.prog, cs.err
+}
+
+// CompiledDirect returns the instruction's semantics lowered in
+// direct-commit mode (rtl.CompileDirect), or nil when the commit
+// reorder cannot be proven unobservable for this word.  The emulator's
+// hot tier asks for it only when a block turns hot, and the result —
+// including the negative — is cached per interned word like Compiled.
+func (s *InstSem) CompiledDirect() *rtl.Prog {
+	if ds := s.direct.Load(); ds != nil {
+		return ds.prog
+	}
+	ds := &directSem{}
+	if p, err := rtl.CompileDirect(s.Def.Sem, semCompileEnv{s}); err == nil {
+		ds.prog = p
+	}
+	telemetry.Default().Counter("rtl.compiles_direct").Add(1)
+	s.direct.Store(ds)
+	return ds.prog
 }
 
 // semCompileEnv adapts an InstSem to rtl.CompileEnv: field values

@@ -8,9 +8,13 @@
 # BenchmarkPipelineCache (cold vs warm memoization) and converts the
 # `go test -bench` output into a JSON array of
 #   {"name": ..., "ns_per_op": ..., "metrics": {unit: value, ...}}
-# records, one per benchmark line.  Then runs BenchmarkSimInterp and
-# BenchmarkSimTranslated and emits BENCH_sim.json with both engines'
-# instructions/sec and the translation-cache speedup ratio.  Finally
+# records, one per benchmark line.  Then runs BenchmarkSimInterp,
+# BenchmarkSimTranslated, and BenchmarkSimChained over every workload
+# flavour and pipes the output through scripts/benchmerge, which
+# MERGES the run into BENCH_sim.json under today's date — earlier
+# dated runs are kept, not overwritten — recording each engine's
+# instructions/sec, the chained engine's chain/IC hit-rate and trace
+# counters, and the derived speedup ratios.  Finally
 # runs BenchmarkSimTelemetry and BenchmarkSimProfiled against
 # BenchmarkSimTranslated and emits BENCH_telemetry.json with the
 # enabled-telemetry and profiling overheads (ratios ~1.0 mean free).
@@ -46,32 +50,17 @@ END { print "\n]" }
 
 echo "wrote $out"
 
-# --- emulator engines: interpreter vs translation cache ---
+# --- emulator engines: interpreter vs translation cache vs chained ---
 simout="BENCH_sim.json"
 simraw="$(mktemp)"
 trap 'rm -f "$raw" "$simraw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSim(Interp|Translated)$' \
+go test -run '^$' -bench 'BenchmarkSim(Interp|Translated|Chained)$' \
     -benchtime "${BENCHTIME:-5x}" . | tee "$simraw"
 
-awk '
-/^BenchmarkSimInterp/ {
-    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") interp = $i
-}
-/^BenchmarkSimTranslated/ {
-    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") trans = $i
-}
-END {
-    speedup = (interp > 0 ? trans / interp : 0)
-    printf "{\n"
-    printf "  \"interp_insts_per_sec\": %s,\n", (interp == "" ? "null" : interp)
-    printf "  \"translated_insts_per_sec\": %s,\n", (trans == "" ? "null" : trans)
-    printf "  \"speedup\": %.2f\n", speedup
-    printf "}\n"
-}
-' "$simraw" > "$simout"
-
-echo "wrote $simout"
+go run ./scripts/benchmerge -out "$simout" < "$simraw"
+go run ./scripts/benchmerge -check scripts/bench_baseline.json < "$simraw" ||
+    echo "WARNING: engine speedups regressed vs scripts/bench_baseline.json" >&2
 
 # --- observability overhead: telemetry/profiling vs plain JIT ---
 telout="BENCH_telemetry.json"

@@ -1,0 +1,236 @@
+// Command benchmerge converts `go test -bench` output for the
+// emulator engine benchmarks into BENCH_sim.json, merging rather than
+// overwriting: each invocation records its results under the run date
+// and keeps every earlier dated run, so the file accumulates a
+// history of engine performance on this machine.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkSim...' . | benchmerge -out BENCH_sim.json
+//	go test -run '^$' -bench 'BenchmarkSim...' . | benchmerge -check scripts/bench_baseline.json
+//
+// The merged document looks like
+//
+//	{"current": "2026-08-06",
+//	 "runs": {"2026-08-06": {"flavours": {...}, "speedups": {...}}, ...}}
+//
+// with per-flavour, per-engine ns/op and custom metrics (including
+// the chained engine's chain-hit-%, ic-hit-%, traces and victim-hits
+// counters) plus derived speedup ratios.
+//
+// -check compares the parsed results against a checked-in baseline of
+// engine speedup *ratios* (translated vs interp, chained vs
+// translated).  Ratios, unlike ns/op, are stable across machines, so
+// the baseline can live in the repository and gate CI: the check
+// fails when a measured ratio falls more than the baseline's
+// tolerance below its recorded value — e.g. SimTranslated regressing
+// >20% relative to the interpreter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// engineResult is one benchmark line: BenchmarkSim<Engine>/<flavour>.
+type engineResult struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	InstsPerSec float64            `json:"insts_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// runRecord is one dated benchmark run.
+type runRecord struct {
+	Flavours map[string]map[string]engineResult `json:"flavours"`
+	Speedups map[string]map[string]float64      `json:"speedups,omitempty"`
+}
+
+// document is the merged BENCH_sim.json.  Runs other than today's are
+// kept as raw JSON so old records survive schema drift untouched.
+type document struct {
+	Current string                     `json:"current"`
+	Runs    map[string]json.RawMessage `json:"runs"`
+}
+
+// baseline is the checked-in regression gate (scripts/bench_baseline.json).
+type baseline struct {
+	Comment   string                        `json:"comment,omitempty"`
+	Tolerance float64                       `json:"tolerance"`
+	Flavours  map[string]map[string]float64 `json:"flavours"`
+}
+
+var benchLine = regexp.MustCompile(`^BenchmarkSim([A-Za-z]+)/([A-Za-z0-9_-]+?)(?:-\d+)?\s`)
+
+func main() {
+	out := flag.String("out", "", "merge results into this JSON file (kept runs under dated keys)")
+	check := flag.String("check", "", "compare speedup ratios against this baseline file; exit 1 on regression")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "key for this run in the merged file")
+	flag.Parse()
+
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rec.Flavours) == 0 {
+		fatal(fmt.Errorf("no BenchmarkSim* lines on stdin"))
+	}
+	rec.Speedups = speedups(rec.Flavours)
+
+	if *out != "" {
+		if err := merge(*out, *date, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchmerge: merged run %q into %s\n", *date, *out)
+	}
+	if *check != "" {
+		if err := checkBaseline(*check, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmerge: REGRESSION:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmerge: within baseline %s\n", *check)
+	}
+	if *out == "" && *check == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parse reads `go test -bench` output and collects the SimInterp /
+// SimTranslated / SimChained / SimTelemetry engine lines per flavour.
+func parse(r io.Reader) (*runRecord, error) {
+	rec := &runRecord{Flavours: map[string]map[string]engineResult{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		engine, flavour := strings.ToLower(m[1]), m[2]
+		res := engineResult{Metrics: map[string]float64{}}
+		// Fields after the name: iteration count, then value/unit pairs.
+		f := strings.Fields(line)
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "sim-insts/s":
+				res.InstsPerSec = v
+			default:
+				res.Metrics[unit] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		if rec.Flavours[flavour] == nil {
+			rec.Flavours[flavour] = map[string]engineResult{}
+		}
+		rec.Flavours[flavour][engine] = res
+	}
+	return rec, sc.Err()
+}
+
+// speedups derives the two engine ratios per flavour: how much the
+// translation cache buys over the interpreter, and how much chaining
+// plus traces buy over the unchained translation cache.
+func speedups(flavours map[string]map[string]engineResult) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for flavour, engines := range flavours {
+		s := map[string]float64{}
+		if i, t := engines["interp"], engines["translated"]; i.InstsPerSec > 0 && t.InstsPerSec > 0 {
+			s["translated_vs_interp"] = round2(t.InstsPerSec / i.InstsPerSec)
+		}
+		if t, c := engines["translated"], engines["chained"]; t.InstsPerSec > 0 && c.InstsPerSec > 0 {
+			s["chained_vs_translated"] = round2(c.InstsPerSec / t.InstsPerSec)
+		}
+		if len(s) > 0 {
+			out[flavour] = s
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// merge inserts rec under date in path, preserving all other dated
+// runs already in the file (a re-run on the same date replaces only
+// that date's record).
+func merge(path, date string, rec *runRecord) error {
+	doc := document{Runs: map[string]json.RawMessage{}}
+	if old, err := os.ReadFile(path); err == nil {
+		// Tolerate the pre-merge scalar format (or anything else
+		// unrecognized) by archiving it verbatim under a legacy key.
+		if err := json.Unmarshal(old, &doc); err != nil || doc.Runs == nil {
+			doc = document{Runs: map[string]json.RawMessage{}}
+			if json.Valid(old) {
+				doc.Runs["legacy"] = json.RawMessage(old)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	doc.Runs[date] = raw
+	doc.Current = date
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// checkBaseline fails when any ratio recorded in the baseline file is
+// measured more than tolerance below its baseline value.
+func checkBaseline(path string, rec *runRecord) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.20
+	}
+	for flavour, ratios := range base.Flavours {
+		for name, want := range ratios {
+			got, ok := rec.Speedups[flavour][name]
+			if !ok {
+				return fmt.Errorf("%s/%s: baseline ratio not measured (missing engine lines?)", flavour, name)
+			}
+			if floor := want * (1 - base.Tolerance); got < floor {
+				return fmt.Errorf("%s/%s: measured %.2fx, baseline %.2fx (floor %.2fx at %.0f%% tolerance)",
+					flavour, name, got, want, floor, 100*base.Tolerance)
+			}
+		}
+	}
+	return nil
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmerge:", err)
+	os.Exit(1)
+}
