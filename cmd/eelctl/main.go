@@ -1,0 +1,213 @@
+// Command eelctl is the thin client for the eeld daemon.  Each
+// subcommand maps to one wire-protocol endpoint:
+//
+//	eelctl analyze    [flags] [input]   whole-program analysis summary
+//	eelctl instrument [flags] [input]   qpt-instrument, write edited binary
+//	eelctl verify     [flags] [input]   instrument and compare under the emulator
+//	eelctl stats                        daemon counters and cache occupancy
+//	eelctl health                       liveness probe
+//
+// Inputs come from a file argument or are generated client-side with
+// -gen/-gen-routines (a progen workload serialized over the wire), so
+// a daemon round trip needs no binaries on disk.  -client and -weight
+// name this client to the daemon's fairness scheduler.
+//
+// Usage:
+//
+//	eelctl [-server URL] [-client NAME] [-weight N] <subcommand> [flags] [input]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eel/internal/binfile"
+	"eel/internal/eeld"
+	"eel/internal/toolmain"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8723", "eeld base URL")
+	clientName := flag.String("client", "eelctl", "client name for the fairness scheduler")
+	weight := flag.Int("weight", 0, "scheduling weight (0 = server default)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "client-side request timeout")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	client := &eeld.Client{Base: *server, Name: *clientName, Weight: *weight}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	sub, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch sub {
+	case "analyze":
+		err = cmdAnalyze(ctx, client, args)
+	case "instrument":
+		err = cmdInstrument(ctx, client, args)
+	case "verify":
+		err = cmdVerify(ctx, client, args)
+	case "stats":
+		err = cmdStats(ctx, client)
+	case "health":
+		err = client.Health(ctx)
+		if err == nil {
+			fmt.Println("ok")
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "eelctl: unknown subcommand %q\n", sub)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eelctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: eelctl [-server URL] [-client NAME] [-weight N] <subcommand> [flags] [input]
+
+subcommands:
+  analyze     whole-program analysis summary (-list for per-routine detail)
+  instrument  instrument with qpt counters, write the edited binary (-o)
+  verify      instrument and run both versions under the emulator
+  stats       daemon counters and cache occupancy
+  health      liveness probe
+
+inputs: a container file argument, or -gen SEED [-gen-routines N] to
+generate a progen workload client-side.`)
+	flag.PrintDefaults()
+}
+
+// inputBytes resolves a subcommand's input binary via the shared
+// toolmain flags (-gen / file argument) and serializes it for the wire.
+func inputBytes(com *toolmain.Common, arg string) ([]byte, string, error) {
+	stop, err := com.Start(os.Stderr)
+	if err != nil {
+		return nil, "", err
+	}
+	defer stop()
+	f, name, err := com.OpenInput(arg)
+	if err != nil {
+		return nil, "", err
+	}
+	data, err := binfile.Write(f)
+	if err != nil {
+		return nil, "", err
+	}
+	return data, name, nil
+}
+
+func cacheLine(c eeld.CacheStats) string {
+	return fmt.Sprintf("cache: %d hits (%d from disk), %d misses (%.1f%% hit rate)",
+		c.Hits, c.DiskHits, c.Misses, 100*c.HitRate)
+}
+
+func cmdAnalyze(ctx context.Context, client *eeld.Client, args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	list := fs.Bool("list", false, "print per-routine CFG statistics")
+	noLiveness := fs.Bool("no-liveness", false, "skip liveness analysis")
+	com := toolmain.AddCommon(fs)
+	fs.Parse(args)
+
+	bin, name, err := inputBytes(com, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Analyze(ctx, &eeld.AnalyzeRequest{Binary: bin, NoLiveness: *noLiveness})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d routines (%d hidden), %d errors in %s\n",
+		name, resp.Routines, resp.Hidden, resp.Errors,
+		time.Duration(resp.WallNS))
+	fmt.Println(cacheLine(resp.Cache))
+	if *list {
+		for _, ri := range resp.List {
+			tag := ""
+			if ri.Hidden {
+				tag = " hidden"
+			}
+			if ri.Error != "" {
+				fmt.Printf("  %-24s %#08x..%#08x%s ERROR %s\n", ri.Name, ri.Start, ri.End, tag, ri.Error)
+				continue
+			}
+			fmt.Printf("  %-24s %#08x..%#08x%s %d blocks, %d edges, %d loops\n",
+				ri.Name, ri.Start, ri.End, tag, ri.Blocks, ri.Edges, ri.Loops)
+		}
+	}
+	return nil
+}
+
+func cmdInstrument(ctx context.Context, client *eeld.Client, args []string) error {
+	fs := flag.NewFlagSet("instrument", flag.ExitOnError)
+	out := fs.String("o", "", "output path for the edited binary (default INPUT.qpt)")
+	mode := fs.String("mode", "full", "instrumentation mode: full or light")
+	com := toolmain.AddCommon(fs)
+	fs.Parse(args)
+
+	bin, name, err := inputBytes(com, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Instrument(ctx, &eeld.InstrumentRequest{Binary: bin, Mode: *mode})
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = name + ".qpt"
+	}
+	if err := os.WriteFile(path, resp.Binary, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: instrumented %d routines (%d hidden), %d counters in %s\n",
+		name, resp.Routines, resp.Hidden, resp.Counters, time.Duration(resp.WallNS))
+	fmt.Println(cacheLine(resp.Cache))
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(resp.Binary))
+	return nil
+}
+
+func cmdVerify(ctx context.Context, client *eeld.Client, args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	maxSteps := fs.Uint64("max-steps", 0, "emulator step bound per run (0 = server default)")
+	com := toolmain.AddCommon(fs)
+	fs.Parse(args)
+
+	bin, name, err := inputBytes(com, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Verify(ctx, &eeld.VerifyRequest{Binary: bin, MaxSteps: *maxSteps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: exit %d vs %d, %d vs %d insts, %d output bytes equal=%v in %s\n",
+		name, resp.OrigExit, resp.EditedExit, resp.OrigInsts, resp.EditedInsts,
+		resp.OutputBytes, resp.OutputEqual, time.Duration(resp.WallNS))
+	fmt.Println(cacheLine(resp.Cache))
+	if !resp.OK {
+		return fmt.Errorf("verification FAILED: %s", resp.Divergence)
+	}
+	fmt.Println("verification OK")
+	return nil
+}
+
+func cmdStats(ctx context.Context, client *eeld.Client) error {
+	resp, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}

@@ -1,0 +1,100 @@
+// Command eeld is the EEL analysis-and-rewriting daemon: a
+// long-running HTTP service answering analyze, instrument, and verify
+// jobs over the wire protocol in internal/eeld, backed by the shared
+// in-memory analysis cache and — when -cache-dir is given — a
+// persistent content-addressed per-routine disk store that survives
+// restarts and is shared by every client.
+//
+// Admission is bounded: at most -queue requests wait, dispatched to
+// -workers executors by a weighted round robin keyed on the
+// X-Eel-Client header, each request subject to -timeout.  SIGTERM and
+// SIGINT trigger a graceful drain: admission stops (503), queued and
+// in-flight jobs finish, then the process exits.
+//
+// Usage:
+//
+//	eeld [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
+//	     [-cache-bytes N] [-mem-entries N] [-workers N] [-queue N]
+//	     [-timeout D] [-drain-timeout D] [-max-binary N] [-j N]
+//	     [-metrics] [-trace FILE] [-pprof ADDR]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eel/internal/eeld"
+	"eel/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8723", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persistent analysis cache directory (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 0, "disk cache entry bound (0 = default)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "disk cache byte bound (0 = default)")
+	memEntries := flag.Int("mem-entries", 0, "in-memory cache entry bound (0 = unbounded)")
+	workers := flag.Int("workers", 0, "concurrent job executors (0 = default)")
+	queue := flag.Int("queue", 0, "admission queue bound (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-request timeout, queue wait included (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound on SIGTERM")
+	maxBinary := flag.Int64("max-binary", 0, "largest accepted binary in bytes (0 = default)")
+	jobs := flag.Int("j", 0, "per-job analysis worker count (0 = GOMAXPROCS)")
+	tf := telemetry.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	tool, err := tf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer tool.Close(os.Stderr)
+
+	srv, err := eeld.New(eeld.Config{
+		Addr:            *addr,
+		CacheDir:        *cacheDir,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		MemEntries:      *memEntries,
+		Workers:         *workers,
+		PipelineWorkers: *jobs,
+		MaxQueue:        *queue,
+		RequestTimeout:  *timeout,
+		MaxBinaryBytes:  *maxBinary,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "eeld: listening on %s", srv.Addr())
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, ", cache %s", *cacheDir)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "eeld: %v, draining\n", sig)
+	case err := <-srv.ServeErr():
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "eeld: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eeld:", err)
+	os.Exit(1)
+}

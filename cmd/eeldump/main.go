@@ -17,16 +17,10 @@ import (
 	"os"
 	"sort"
 
-	_ "eel/internal/aout"
-	_ "eel/internal/elf32"
-
-	"eel/internal/binfile"
 	"eel/internal/cfg"
-	"eel/internal/core"
 	"eel/internal/pipeline"
-	"eel/internal/progen"
 	"eel/internal/sparc"
-	"eel/internal/telemetry"
+	"eel/internal/toolmain"
 )
 
 func main() {
@@ -34,34 +28,18 @@ func main() {
 	dis := flag.Bool("dis", false, "disassemble routines")
 	showCFG := flag.Bool("cfg", false, "print CFG structure")
 	dot := flag.Bool("dot", false, "emit CFGs as Graphviz dot")
-	gen := flag.Int64("gen", -1, "generate a synthetic input with this seed")
-	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print pipeline statistics")
-	tf := telemetry.AddFlags(flag.CommandLine)
+	com := toolmain.AddCommon(flag.CommandLine)
 	flag.Parse()
 
-	tool, err := tf.Start()
+	stop, err := com.Start(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
-	defer tool.Close(os.Stderr)
+	defer stop()
 
-	var f *binfile.File
-	switch {
-	case *gen >= 0:
-		p, err := progen.Generate(progen.DefaultConfig(*gen))
-		if err != nil {
-			fatal(err)
-		}
-		f = p.File
-	case flag.Arg(0) != "":
-		var err error
-		f, err = binfile.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-	default:
-		fatal(fmt.Errorf("need an input executable or -gen seed"))
+	f, _, err := com.OpenInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("format %s, entry %#x\n", f.Format, f.Entry)
@@ -70,16 +48,12 @@ func main() {
 	}
 	fmt.Printf("  %d raw symbols\n", len(f.Symbols))
 
-	e, err := core.NewExecutable(f)
+	e, err := toolmain.Load(f)
 	if err != nil {
 		fatal(err)
 	}
-	if err := e.ReadContents(); err != nil {
-		fatal(err)
-	}
 
-	res, err := pipeline.AnalyzeAll(e, pipeline.Options{
-		Workers:      *jobs,
+	res, err := com.Analyze(e, pipeline.Options{
 		NoLiveness:   true,
 		NoDominators: true,
 		NoLoops:      true,
@@ -154,9 +128,6 @@ func main() {
 			100*float64(agg.UneditableE)/float64(agg.Edges))
 	}
 	fmt.Printf("indirect jumps: %d (%d unresolved)\n", indirect, unresolved)
-	if *stats {
-		fmt.Println(res.Stats)
-	}
 }
 
 // printDot renders one routine's CFG in Graphviz syntax: normal

@@ -20,58 +20,35 @@ import (
 	"sort"
 	"strings"
 
-	_ "eel/internal/aout"
-	_ "eel/internal/elf32"
-
 	"eel/internal/binfile"
 	"eel/internal/cfg"
 	"eel/internal/core"
 	"eel/internal/pipeline"
-	"eel/internal/progen"
 	"eel/internal/sim"
 	"eel/internal/telemetry"
+	"eel/internal/toolmain"
 )
 
 func main() {
-	gen := flag.Int64("gen", -1, "generate a synthetic input with this seed")
-	genRoutines := flag.Int("gen-routines", 40, "routines in the generated program")
 	top := flag.Int("top", 10, "rows per table")
 	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
 	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
 	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
 	jitstats := flag.Bool("jitstats", false, "print chain/IC hit rates and trace counters")
-	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
-	tf := telemetry.AddFlags(flag.CommandLine)
+	com := toolmain.AddCommon(flag.CommandLine)
 	flag.Parse()
 
-	tool, err := tf.Start()
+	stop, err := com.Start(os.Stderr)
 	check(err)
 
-	var f *binfile.File
-	name := flag.Arg(0)
-	switch {
-	case *gen >= 0:
-		cfg := progen.DefaultConfig(*gen)
-		cfg.Routines = *genRoutines
-		p, err := progen.Generate(cfg)
-		check(err)
-		f = p.File
-		if name == "" {
-			name = fmt.Sprintf("gen%d", *gen)
-		}
-	case name != "":
-		var err error
-		f, err = binfile.ReadFile(name)
-		check(err)
-	default:
-		check(fmt.Errorf("need an input executable or -gen seed"))
-	}
+	f, name, err := com.OpenInput(flag.Arg(0))
+	check(err)
 
-	out, err := profileRun(f, name, *nojit, *nochain, *jitstats, *jobs, *top, *maxSteps)
+	out, err := profileRun(f, name, *nojit, *nochain, *jitstats, com.Jobs, *top, *maxSteps)
 	check(err)
 	fmt.Print(out)
 
-	check(tool.Close(os.Stderr))
+	check(stop())
 }
 
 // profileRun executes f under the profiling emulator, analyzes it,

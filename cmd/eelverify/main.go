@@ -23,63 +23,45 @@ import (
 	"os"
 	"time"
 
-	_ "eel/internal/aout"
-	_ "eel/internal/elf32"
-
 	"eel/internal/binfile"
-	"eel/internal/core"
 	"eel/internal/pipeline"
-	"eel/internal/progen"
 	"eel/internal/qpt"
 	"eel/internal/sim"
-	"eel/internal/telemetry"
+	"eel/internal/toolmain"
 )
 
 func main() {
-	gen := flag.Int64("gen", -1, "generate a program with this seed instead of reading files")
 	instrument := flag.Bool("instrument", false, "with -gen: instrument before verifying")
 	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
-	jobs := flag.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print analysis pipeline statistics")
 	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
 	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
 	jitstats := flag.Bool("jitstats", false, "print translation-cache chain/IC hit rates and traces built")
-	tf := telemetry.AddFlags(flag.CommandLine)
+	com := toolmain.AddCommon(flag.CommandLine)
 	flag.Parse()
 
-	tool, err := tf.Start()
+	stop, err := com.Start(os.Stderr)
 	check(err)
+	closeTool := func() { check(stop()) }
 
 	var orig, edited *binfile.File
 	switch {
-	case *gen >= 0:
-		p, err := progen.Generate(progen.DefaultConfig(*gen))
+	case com.Gen >= 0:
+		f, _, err := com.OpenInput("")
 		check(err)
-		orig = p.File
+		orig = f
+		e, err := toolmain.Load(f)
+		check(err)
 		if *instrument {
-			e, err := core.NewExecutable(p.File)
-			check(err)
-			check(e.ReadContents())
-			pres, err := pipeline.AnalyzeAll(e, pipeline.Options{
-				Workers:      *jobs,
+			_, err := com.Analyze(e, pipeline.Options{
 				NoDominators: true,
 				NoLoops:      true,
 			})
 			check(err)
-			if *stats {
-				fmt.Println(pres.Stats)
-			}
 			_, err = qpt.Instrument(e, qpt.Full)
 			check(err)
-			edited, err = e.BuildEdited()
-			check(err)
-		} else {
-			e, err := core.NewExecutable(p.File)
-			check(err)
-			check(e.ReadContents())
-			edited, err = e.BuildEdited()
-			check(err)
 		}
+		edited, err = e.BuildEdited()
+		check(err)
 	case flag.NArg() == 2:
 		var err error
 		orig, err = binfile.ReadFile(flag.Arg(0))
@@ -102,7 +84,7 @@ func main() {
 		printJITStats("edited", e)
 	}
 
-	check(tool.Close(os.Stderr))
+	closeTool()
 
 	if o.ExitCode != e.ExitCode || !bytes.Equal(oOut, eOut) {
 		fmt.Println("VERIFY FAILED: behaviour diverged")

@@ -214,11 +214,24 @@ type Graph struct {
 	// a hidden routine follows (0 if none): §3.1 step 4.
 	UnreachableTail uint32
 
+	// ExternalReads lists image addresses outside [Start, End) whose
+	// words the indirect-jump resolver consulted while building this
+	// graph (dispatch tables and literal pointer slots living outside
+	// the routine's own extent).  A memoized analysis is reusable only
+	// while those words are unchanged; the analysis cache validates
+	// them on every hit.
+	ExternalReads []uint32
+
 	dec machine.Decoder
 }
 
 // Decoder returns the decoder the graph was built with.
 func (g *Graph) Decoder() machine.Decoder { return g.dec }
+
+// SetDecoder installs the decoder on a graph reconstructed from a
+// serialized form (the persistent analysis cache); graphs built by
+// Build carry their decoder already.
+func (g *Graph) SetDecoder(d machine.Decoder) { g.dec = d }
 
 // NewEdge links from→to and registers the edge.
 func (g *Graph) NewEdge(from, to *Block, kind EdgeKind, uneditable bool) *Edge {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"eel/internal/cfg"
 	"eel/internal/dataflow"
@@ -73,6 +74,14 @@ func (r *Routine) ControlFlowGraph() (*cfg.Graph, error) {
 		Tables:          map[uint32]cfg.TableInfo{},
 		ForceTranslate:  r.Exec.ForceRuntimeTranslation || r.Exec.LightAnalysis,
 	}
+	// Record every image address the resolver reads: words outside the
+	// routine's (final) extent become the graph's ExternalReads, the
+	// out-of-routine dependency set the analysis cache must validate.
+	resolverReads := map[uint32]bool{}
+	readWord := func(addr uint32) (uint32, bool) {
+		resolverReads[addr] = true
+		return r.Exec.ReadWord(addr)
+	}
 	var g *cfg.Graph
 	for pass := 0; ; pass++ {
 		var err error
@@ -85,7 +94,7 @@ func (r *Routine) ControlFlowGraph() (*cfg.Graph, error) {
 		}
 		res := (&dataflow.Resolver{
 			G:        g,
-			ReadWord: r.Exec.ReadWord,
+			ReadWord: readWord,
 			InText:   text.Contains,
 		}).AnalyzeIndirectJumps()
 		progressed := false
@@ -122,6 +131,12 @@ func (r *Routine) ControlFlowGraph() (*cfg.Graph, error) {
 			g = g2
 		}
 	}
+	for addr := range resolverReads {
+		if addr < g.Start || addr >= g.End {
+			g.ExternalReads = append(g.ExternalReads, addr)
+		}
+	}
+	sort.Slice(g.ExternalReads, func(i, j int) bool { return g.ExternalReads[i] < g.ExternalReads[j] })
 	r.graph = g
 	return g, nil
 }

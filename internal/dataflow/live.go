@@ -110,6 +110,13 @@ func ComputeLiveness(g *cfg.Graph, exitLive machine.RegSet) *Liveness {
 	return lv
 }
 
+// RestoreLiveness rebuilds a Liveness over g from per-block sets (the
+// persistent analysis cache deserializes through it); ComputeLiveness
+// remains the way to solve liveness from scratch.
+func RestoreLiveness(g *cfg.Graph, in, out map[*cfg.Block]machine.RegSet) *Liveness {
+	return &Liveness{In: in, Out: out, g: g}
+}
+
 // LiveBefore returns the registers live immediately before
 // instruction index idx of block b (idx == len(b.Insts) queries the
 // block's live-out).

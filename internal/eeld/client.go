@@ -1,0 +1,145 @@
+package eeld
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Client is the thin HTTP client behind cmd/eelctl and cmd/eelload.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8723".
+	Base string
+	// Name identifies this client to the fairness scheduler (the
+	// X-Eel-Client header); Weight biases its round-robin share
+	// (0 means server default).
+	Name   string
+	Weight int
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// StatusError is a non-2xx server reply.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("eeld: server returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends req as JSON and decodes the 200 body into resp.
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if c.Name != "" {
+		hr.Header.Set("X-Eel-Client", c.Name)
+	}
+	if c.Weight > 0 {
+		hr.Header.Set("X-Eel-Weight", strconv.Itoa(c.Weight))
+	}
+	res, err := c.httpClient().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return readError(res)
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+func readError(res *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
+	var er ErrorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return &StatusError{Code: res.StatusCode, Message: er.Error}
+	}
+	return &StatusError{Code: res.StatusCode, Message: string(bytes.TrimSpace(data))}
+}
+
+// Analyze submits a binary for whole-program analysis.
+func (c *Client) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	var resp AnalyzeResponse
+	if err := c.post(ctx, "/v1/analyze", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Instrument submits a binary for qpt instrumentation and returns the
+// edited container.
+func (c *Client) Instrument(ctx context.Context, req *InstrumentRequest) (*InstrumentResponse, error) {
+	var resp InstrumentResponse
+	if err := c.post(ctx, "/v1/instrument", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Verify submits a binary for instrument-and-compare verification.
+func (c *Client) Verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, error) {
+	var resp VerifyResponse
+	if err := c.post(ctx, "/v1/verify", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.httpClient().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, readError(res)
+	}
+	var resp StatsResponse
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health checks the daemon's liveness; it returns nil when the
+// daemon is up and accepting work.
+func (c *Client) Health(ctx context.Context) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.httpClient().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return readError(res)
+	}
+	return nil
+}

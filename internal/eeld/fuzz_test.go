@@ -1,0 +1,59 @@
+package eeld
+
+import (
+	"bytes"
+	"encoding/base64"
+	"strings"
+	"testing"
+)
+
+// FuzzEeldRequest feeds arbitrary bytes to all three request decoders
+// with a small size cap.  The decoders front a long-running daemon:
+// they must reject malformed input with an error — never panic, hang,
+// or accept a request that violates the documented invariants
+// (non-empty binary within the cap, known mode, no unknown fields,
+// no trailing content).
+func FuzzEeldRequest(f *testing.F) {
+	b64 := base64.StdEncoding.EncodeToString([]byte{0x7f, 'E', 'L', 'F', 1, 2, 3, 4})
+	f.Add([]byte(`{"binary":"` + b64 + `"}`))
+	f.Add([]byte(`{"binary":"` + b64 + `","no_liveness":true,"no_dominators":true,"no_loops":true}`))
+	f.Add([]byte(`{"binary":"` + b64 + `","mode":"light"}`))
+	f.Add([]byte(`{"binary":"` + b64 + `","mode":"turbo"}`))
+	f.Add([]byte(`{"binary":"` + b64 + `","max_steps":1000000}`))
+	f.Add([]byte(`{"binary":""}`))
+	f.Add([]byte(`{"binary":null}`))
+	f.Add([]byte(`{"binary":"not!!base64"}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{"binary":"` + b64 + `"} trailing`))
+	f.Add([]byte(`{"binary":"` + b64 + `"}{"binary":"` + b64 + `"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`"just a string"`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(strings.Repeat(`{"binary":"`, 100)))
+	f.Add([]byte(`{"binary":"` + strings.Repeat("A", 4096) + `"}`))
+
+	const maxBinary = 1024
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeAnalyzeRequest(bytes.NewReader(data), maxBinary); err == nil {
+			if len(req.Binary) == 0 || len(req.Binary) > maxBinary {
+				t.Fatalf("analyze decoder accepted binary of %d bytes (cap %d)", len(req.Binary), maxBinary)
+			}
+		}
+		if req, err := DecodeInstrumentRequest(bytes.NewReader(data), maxBinary); err == nil {
+			if len(req.Binary) == 0 || len(req.Binary) > maxBinary {
+				t.Fatalf("instrument decoder accepted binary of %d bytes (cap %d)", len(req.Binary), maxBinary)
+			}
+			switch req.Mode {
+			case "", "full", "light":
+			default:
+				t.Fatalf("instrument decoder accepted mode %q", req.Mode)
+			}
+		}
+		if req, err := DecodeVerifyRequest(bytes.NewReader(data), maxBinary); err == nil {
+			if len(req.Binary) == 0 || len(req.Binary) > maxBinary {
+				t.Fatalf("verify decoder accepted binary of %d bytes (cap %d)", len(req.Binary), maxBinary)
+			}
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package eeld is the analysis-and-rewriting service: a long-running
+// daemon (cmd/eeld) that serves analyze, instrument, and verify jobs
+// over HTTP/JSON, backed by the shared per-routine analysis cache
+// (internal/pipeline's in-memory tier plus the persistent DiskStore).
+// Submitting the same binary twice — or a binary with one routine
+// changed — costs only the changed routines; everything else replays
+// from the cache, across clients and across daemon restarts.
+//
+// The wire protocol is deliberately small: POST a JSON request whose
+// "binary" field carries the container bytes (base64 per encoding/json
+// convention) to /v1/analyze, /v1/instrument, or /v1/verify; GET
+// /v1/stats and /healthz for observability.  Admission control is a
+// bounded queue with weighted round-robin fairness across client IDs
+// (the X-Eel-Client header; X-Eel-Weight biases a client's share).
+package eeld
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request size and decode limits.  The decoder is strict — unknown
+// fields, trailing garbage, and oversized bodies are errors — because
+// it fronts a long-running daemon (and is fuzzed as FuzzEeldRequest).
+const (
+	// DefaultMaxBinaryBytes caps the decoded "binary" payload.
+	DefaultMaxBinaryBytes = 16 << 20
+	// maxRequestSlack is the allowance for the JSON envelope around
+	// the base64 binary (field names, options, base64 expansion).
+	maxRequestSlack = 4096
+)
+
+// AnalyzeRequest asks for a whole-binary analysis.
+type AnalyzeRequest struct {
+	// Binary is the executable container (a.out or ELF32) verbatim.
+	Binary []byte `json:"binary"`
+	// NoLiveness / NoDominators / NoLoops skip the corresponding
+	// dataflow stage, mirroring pipeline.Options.
+	NoLiveness   bool `json:"no_liveness,omitempty"`
+	NoDominators bool `json:"no_dominators,omitempty"`
+	NoLoops      bool `json:"no_loops,omitempty"`
+}
+
+// RoutineInfo is one routine's analysis summary.
+type RoutineInfo struct {
+	Name   string `json:"name"`
+	Start  uint32 `json:"start"`
+	End    uint32 `json:"end"`
+	Hidden bool   `json:"hidden,omitempty"`
+	Blocks int    `json:"blocks"`
+	Edges  int    `json:"edges"`
+	Loops  int    `json:"loops,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// CacheStats reports how the shared analysis cache served one job.
+type CacheStats struct {
+	Hits      uint64  `json:"hits"`
+	DiskHits  uint64  `json:"disk_hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// AnalyzeResponse is /v1/analyze's result.
+type AnalyzeResponse struct {
+	Routines int           `json:"routines"`
+	Hidden   int           `json:"hidden"`
+	Errors   int           `json:"errors"`
+	WallNS   int64         `json:"wall_ns"`
+	Cache    CacheStats    `json:"cache"`
+	List     []RoutineInfo `json:"list,omitempty"`
+}
+
+// InstrumentRequest asks for qpt-style edge-profiling instrumentation
+// and returns the edited binary.
+type InstrumentRequest struct {
+	Binary []byte `json:"binary"`
+	// Mode selects the instrumentation flavor: "full" (default) or
+	// "light".
+	Mode string `json:"mode,omitempty"`
+}
+
+// InstrumentResponse is /v1/instrument's result.
+type InstrumentResponse struct {
+	// Binary is the edited executable container.
+	Binary   []byte     `json:"binary"`
+	Routines int        `json:"routines"`
+	Hidden   int        `json:"hidden"`
+	Counters int        `json:"counters"`
+	WallNS   int64      `json:"wall_ns"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// VerifyRequest asks the daemon to instrument the binary and check
+// the edited program behaves identically to the original on the
+// bundled emulator (exit code and output compared).
+type VerifyRequest struct {
+	Binary []byte `json:"binary"`
+	// MaxSteps bounds each emulator run (0 = the server default).
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+}
+
+// VerifyResponse is /v1/verify's result.
+type VerifyResponse struct {
+	OK           bool       `json:"ok"`
+	OrigExit     uint32     `json:"orig_exit"`
+	EditedExit   uint32     `json:"edited_exit"`
+	OrigInsts    uint64     `json:"orig_insts"`
+	EditedInsts  uint64     `json:"edited_insts"`
+	OutputEqual  bool       `json:"output_equal"`
+	OutputBytes  int        `json:"output_bytes"`
+	WallNS       int64      `json:"wall_ns"`
+	Cache        CacheStats `json:"cache"`
+	Divergence   string     `json:"divergence,omitempty"`
+	Instrumented int        `json:"instrumented"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Decode errors distinguished by the server's status-code mapping.
+var (
+	// ErrTooLarge means the request body exceeded the size cap.
+	ErrTooLarge = errors.New("eeld: request too large")
+	// ErrBadRequest wraps malformed JSON or invalid field values.
+	ErrBadRequest = errors.New("eeld: bad request")
+)
+
+// decodeStrict unmarshals JSON from r into v with unknown fields
+// rejected, the body size capped, and trailing content refused.
+func decodeStrict(r io.Reader, v any, maxBytes int64) error {
+	lr := &io.LimitedReader{R: r, N: maxBytes + 1}
+	dec := json.NewDecoder(lr)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if lr.N <= 0 {
+			return ErrTooLarge
+		}
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if lr.N <= 0 {
+		return ErrTooLarge
+	}
+	// Anything after the first value (other than whitespace the
+	// decoder already consumed) is an error: one request per body.
+	if dec.More() {
+		return fmt.Errorf("%w: trailing content after request", ErrBadRequest)
+	}
+	return nil
+}
+
+// DecodeAnalyzeRequest parses and validates an analyze request body.
+// maxBinary <= 0 selects DefaultMaxBinaryBytes.
+func DecodeAnalyzeRequest(r io.Reader, maxBinary int64) (*AnalyzeRequest, error) {
+	if maxBinary <= 0 {
+		maxBinary = DefaultMaxBinaryBytes
+	}
+	var req AnalyzeRequest
+	if err := decodeStrict(r, &req, requestCap(maxBinary)); err != nil {
+		return nil, err
+	}
+	if err := checkBinary(req.Binary, maxBinary); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeInstrumentRequest parses and validates an instrument request.
+func DecodeInstrumentRequest(r io.Reader, maxBinary int64) (*InstrumentRequest, error) {
+	if maxBinary <= 0 {
+		maxBinary = DefaultMaxBinaryBytes
+	}
+	var req InstrumentRequest
+	if err := decodeStrict(r, &req, requestCap(maxBinary)); err != nil {
+		return nil, err
+	}
+	if err := checkBinary(req.Binary, maxBinary); err != nil {
+		return nil, err
+	}
+	switch req.Mode {
+	case "", "full", "light":
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %q", ErrBadRequest, req.Mode)
+	}
+	return &req, nil
+}
+
+// DecodeVerifyRequest parses and validates a verify request.
+func DecodeVerifyRequest(r io.Reader, maxBinary int64) (*VerifyRequest, error) {
+	if maxBinary <= 0 {
+		maxBinary = DefaultMaxBinaryBytes
+	}
+	var req VerifyRequest
+	if err := decodeStrict(r, &req, requestCap(maxBinary)); err != nil {
+		return nil, err
+	}
+	if err := checkBinary(req.Binary, maxBinary); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// requestCap is the raw body cap for a given binary cap: base64
+// expands 4/3, plus the JSON envelope.
+func requestCap(maxBinary int64) int64 {
+	return maxBinary + maxBinary/3 + maxRequestSlack
+}
+
+func checkBinary(b []byte, maxBinary int64) error {
+	if len(b) == 0 {
+		return fmt.Errorf("%w: empty binary", ErrBadRequest)
+	}
+	if int64(len(b)) > maxBinary {
+		return ErrTooLarge
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package eeld
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission errors the server maps to HTTP status codes.
+var (
+	// ErrQueueFull means the bounded global queue is at capacity (429).
+	ErrQueueFull = errors.New("eeld: queue full")
+	// ErrDraining means the daemon is shutting down gracefully (503).
+	ErrDraining = errors.New("eeld: draining")
+)
+
+// sched is the admission controller: a bounded global queue of jobs
+// partitioned into per-client FIFOs, dispatched by weighted round
+// robin so one flooding client cannot starve the rest — with equal
+// weights and two active clients, dispatch alternates between them no
+// matter how deep the flooder's backlog is.  A client's weight (1..16)
+// is how many of its jobs dispatch per round-robin turn.
+//
+// Jobs are opaque funcs; the scheduler owns ordering only.  Execution
+// workers call next() in a loop; drain() stops admission, waits for
+// the queue and all in-flight jobs to finish, then releases the
+// workers.
+type sched struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	maxQueue int
+
+	clients map[string]*clientQueue
+	// ring is the round-robin order over clients that currently have
+	// queued jobs; pos indexes the client whose turn it is, and credit
+	// is how many more of its jobs dispatch before the turn passes.
+	ring   []*clientQueue
+	pos    int
+	credit int
+
+	queued   int
+	inflight int
+	draining bool
+	closed   bool
+}
+
+type clientQueue struct {
+	id     string
+	weight int
+	jobs   []func()
+	ringed bool
+}
+
+// maxClientWeight bounds X-Eel-Weight so a client cannot buy the
+// whole scheduler.
+const maxClientWeight = 16
+
+func newSched(maxQueue int) *sched {
+	if maxQueue <= 0 {
+		maxQueue = 256
+	}
+	s := &sched{maxQueue: maxQueue, clients: map[string]*clientQueue{}}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// submit enqueues job for client (creating its FIFO on first use;
+// weight is clamped to [1, maxClientWeight] and the latest value
+// wins).  It fails fast when the global queue is full or the
+// scheduler is draining.
+func (s *sched) submit(client string, weight int, job func()) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > maxClientWeight {
+		weight = maxClientWeight
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if s.queued >= s.maxQueue {
+		return ErrQueueFull
+	}
+	q := s.clients[client]
+	if q == nil {
+		q = &clientQueue{id: client}
+		s.clients[client] = q
+	}
+	q.weight = weight
+	q.jobs = append(q.jobs, job)
+	if !q.ringed {
+		q.ringed = true
+		s.ring = append(s.ring, q)
+	}
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// next blocks until a job is available and returns it, or returns
+// false when the scheduler has been drained and emptied.  The caller
+// must invoke done() after running the job.
+func (s *sched) next() (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.queued > 0 {
+			job := s.popLocked()
+			s.inflight++
+			return job, true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// popLocked dispatches the next job under weighted round robin.
+func (s *sched) popLocked() func() {
+	if s.pos >= len(s.ring) {
+		s.pos = 0
+	}
+	// Start a new turn when the current one is spent.
+	if s.credit == 0 && len(s.ring) > 0 {
+		s.credit = s.ring[s.pos].weight
+	}
+	// Find a client with work, passing empty turns along the ring.
+	for len(s.ring) > 0 {
+		q := s.ring[s.pos]
+		if len(q.jobs) == 0 {
+			// Exhausted client leaves the ring; its turn passes.
+			q.ringed = false
+			s.ring = append(s.ring[:s.pos], s.ring[s.pos+1:]...)
+			if s.pos >= len(s.ring) {
+				s.pos = 0
+			}
+			if len(s.ring) > 0 {
+				s.credit = s.ring[s.pos].weight
+			}
+			continue
+		}
+		job := q.jobs[0]
+		q.jobs = q.jobs[1:]
+		s.queued--
+		s.credit--
+		if len(q.jobs) == 0 {
+			// Client is out of work: drop it from the ring now so
+			// the next dispatch doesn't spin on an empty queue.
+			q.ringed = false
+			s.ring = append(s.ring[:s.pos], s.ring[s.pos+1:]...)
+			if s.pos >= len(s.ring) {
+				s.pos = 0
+			}
+			s.credit = 0
+			if len(s.ring) > 0 {
+				s.credit = s.ring[s.pos].weight
+			}
+		} else if s.credit == 0 {
+			// Turn spent: advance to the next client.
+			s.pos++
+			if s.pos >= len(s.ring) {
+				s.pos = 0
+			}
+			s.credit = s.ring[s.pos].weight
+		}
+		return job
+	}
+	panic("eeld: popLocked with empty ring") // unreachable: queued > 0
+}
+
+// done records one job's completion.
+func (s *sched) done() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.queued == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// depth reports the queued job count.
+func (s *sched) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// drain stops admission (submit returns ErrDraining), waits until the
+// queue empties and in-flight jobs complete, then releases workers
+// blocked in next().
+func (s *sched) drain() {
+	s.mu.Lock()
+	s.draining = true
+	for s.queued > 0 || s.inflight > 0 {
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

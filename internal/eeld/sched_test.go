@@ -1,0 +1,144 @@
+package eeld
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// drainOrder runs a single synthetic worker until the queue empties,
+// returning the dispatch order of job labels.
+func drainOrder(t *testing.T, s *sched, total int) []string {
+	t.Helper()
+	var order []string
+	for i := 0; i < total; i++ {
+		job, ok := s.next()
+		if !ok {
+			t.Fatalf("scheduler closed after %d of %d jobs", i, total)
+		}
+		job()
+		s.done()
+		order = append(order, lastLabel)
+	}
+	return order
+}
+
+// lastLabel is set by the label jobs drainOrder runs; single-threaded
+// dispatch makes this safe.
+var lastLabel string
+
+func labelJob(l string) func() { return func() { lastLabel = l } }
+
+// TestSchedFairness: client A floods the queue before B submits
+// anything; with equal weights dispatch still alternates, so B's jobs
+// finish at positions 2, 4, 6, ... instead of behind all of A's.
+func TestSchedFairness(t *testing.T) {
+	s := newSched(100)
+	for i := 0; i < 20; i++ {
+		if err := s.submit("A", 1, labelJob("A")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.submit("B", 1, labelJob("B")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := drainOrder(t, s, 25)
+	for i := 0; i < 10; i++ {
+		want := "A"
+		if i%2 == 1 {
+			want = "B"
+		}
+		if order[i] != want {
+			t.Fatalf("dispatch %d = %s, want %s (order %v)", i, order[i], want, order[:10])
+		}
+	}
+	for i := 10; i < 25; i++ {
+		if order[i] != "A" {
+			t.Fatalf("dispatch %d = %s after B drained (order %v)", i, order[i], order)
+		}
+	}
+}
+
+// TestSchedWeights: a weight-2 client dispatches two jobs per turn to
+// a weight-1 client's one.
+func TestSchedWeights(t *testing.T) {
+	s := newSched(100)
+	for i := 0; i < 8; i++ {
+		if err := s.submit("heavy", 2, labelJob("H")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.submit("light", 1, labelJob("L")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := drainOrder(t, s, 12)
+	want := []string{"H", "H", "L", "H", "H", "L", "H", "H", "L", "H", "H", "L"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSchedQueueFull: the global bound rejects the overflow
+// submission regardless of which client sends it.
+func TestSchedQueueFull(t *testing.T) {
+	s := newSched(3)
+	for i := 0; i < 3; i++ {
+		if err := s.submit(fmt.Sprintf("c%d", i), 1, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.submit("c0", 1, func() {}); err != ErrQueueFull {
+		t.Fatalf("overflow submit returned %v, want ErrQueueFull", err)
+	}
+	// Draining one job frees one slot.
+	job, _ := s.next()
+	job()
+	s.done()
+	if err := s.submit("c9", 1, func() {}); err != nil {
+		t.Fatalf("post-drain submit failed: %v", err)
+	}
+}
+
+// TestSchedDrain: drain refuses new work, waits for queued and
+// in-flight jobs, then unblocks workers.
+func TestSchedDrain(t *testing.T) {
+	s := newSched(10)
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 5; i++ {
+		if err := s.submit("c", 1, func() { mu.Lock(); ran++; mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				job, ok := s.next()
+				if !ok {
+					return
+				}
+				job()
+				s.done()
+			}
+		}()
+	}
+	s.drain()
+	if err := s.submit("c", 1, func() {}); err != ErrDraining {
+		t.Fatalf("submit during drain returned %v, want ErrDraining", err)
+	}
+	wg.Wait() // workers exit once closed
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 5 {
+		t.Fatalf("drain completed %d of 5 queued jobs", ran)
+	}
+}

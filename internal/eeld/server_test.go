@@ -1,0 +1,264 @@
+package eeld
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eel/internal/binfile"
+	"eel/internal/progen"
+	"eel/internal/sim"
+)
+
+// genBinary builds a progen workload and serializes its container.
+func genBinary(t testing.TB, seed int64, routines int) []byte {
+	t.Helper()
+	cfg := progen.DefaultConfig(seed)
+	cfg.Routines = routines
+	p, err := progen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := binfile.Write(p.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *Client, func()) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	client := &Client{Base: hs.URL, Name: "test"}
+	return srv, client, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		hs.Close()
+	}
+}
+
+// TestServerAnalyzeInstrumentVerify is the end-to-end round trip: the
+// same binary analyzed, instrumented (edited program runs and behaves
+// identically), and verified through the daemon, with the second
+// request a warm-cache replay.
+func TestServerAnalyzeInstrumentVerify(t *testing.T) {
+	_, client, shutdown := newTestServer(t, Config{Workers: 2})
+	defer shutdown()
+	ctx := context.Background()
+	bin := genBinary(t, 7, 20)
+
+	ar, err := client.Analyze(ctx, &AnalyzeRequest{Binary: bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Routines == 0 || ar.Errors != 0 {
+		t.Fatalf("analyze: %d routines, %d errors", ar.Routines, ar.Errors)
+	}
+	if len(ar.List) != ar.Routines {
+		t.Fatalf("analyze: list has %d entries for %d routines", len(ar.List), ar.Routines)
+	}
+	if ar.Cache.Misses == 0 {
+		t.Fatal("cold analyze reported no cache misses")
+	}
+
+	ir, err := client.Instrument(ctx, &InstrumentRequest{Binary: bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Counters == 0 || len(ir.Binary) == 0 {
+		t.Fatalf("instrument: %d counters, %d bytes", ir.Counters, len(ir.Binary))
+	}
+	// The instrument run shares the analyze run's cache entries.
+	if ir.Cache.Hits == 0 {
+		t.Error("instrument after analyze reported no cache hits")
+	}
+
+	// The edited binary must behave like the original.
+	origF, err := binfile.Read(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	editedF, err := binfile.Read(ir.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oOut, eOut bytes.Buffer
+	oCPU := sim.LoadFile(origF, &oOut)
+	if err := oCPU.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	eCPU := sim.LoadFile(editedF, &eOut)
+	if err := eCPU.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if oCPU.ExitCode != eCPU.ExitCode || !bytes.Equal(oOut.Bytes(), eOut.Bytes()) {
+		t.Fatalf("edited binary diverged: exit %d vs %d", oCPU.ExitCode, eCPU.ExitCode)
+	}
+
+	vr, err := client.Verify(ctx, &VerifyRequest{Binary: bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.OK {
+		t.Fatalf("verify failed: %s", vr.Divergence)
+	}
+	if vr.EditedInsts <= vr.OrigInsts {
+		t.Errorf("instrumented run executed %d insts, original %d — counters not running?",
+			vr.EditedInsts, vr.OrigInsts)
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 3 || st.Failed != 0 {
+		t.Errorf("stats: completed %d failed %d, want 3/0", st.Completed, st.Failed)
+	}
+	if st.BytesRewritten == 0 {
+		t.Error("stats: no bytes rewritten after instrument")
+	}
+}
+
+// TestServerWarmRestartCache is the tentpole property end to end: a
+// daemon restarted on the same cache directory serves a previously
+// seen corpus ≥ 90% from the persistent cache.
+func TestServerWarmRestartCache(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	var bins [][]byte
+	for seed := int64(1); seed <= 3; seed++ {
+		bins = append(bins, genBinary(t, seed, 12))
+	}
+
+	srv1, client1, _ := newTestServer(t, Config{Workers: 2, CacheDir: dir})
+	for _, bin := range bins {
+		if _, err := client1.Analyze(ctx, &AnalyzeRequest{Binary: bin}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv1.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh server (empty in-memory tier), same directory.
+	_, client2, shutdown2 := newTestServer(t, Config{Workers: 2, CacheDir: dir})
+	defer shutdown2()
+	var hits, misses, diskHits uint64
+	for _, bin := range bins {
+		ar, err := client2.Analyze(ctx, &AnalyzeRequest{Binary: bin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits += ar.Cache.Hits
+		misses += ar.Cache.Misses
+		diskHits += ar.Cache.DiskHits
+	}
+	total := hits + misses
+	if total == 0 {
+		t.Fatal("warm corpus produced no cache traffic")
+	}
+	if rate := float64(hits) / float64(total); rate < 0.9 {
+		t.Errorf("warm-restart hit rate %.1f%% (hits %d, misses %d), want >= 90%%",
+			100*rate, hits, misses)
+	}
+	if diskHits == 0 {
+		t.Error("warm restart served no hits from disk")
+	}
+}
+
+// TestServerQueueFull: with the lone worker occupied and the bounded
+// queue at capacity, a new request is rejected with 429.
+func TestServerQueueFull(t *testing.T) {
+	srv, client, shutdown := newTestServer(t, Config{Workers: 1, MaxQueue: 1})
+	ctx := context.Background()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := srv.sched.submit("holder", 1, func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now busy
+	if err := srv.sched.submit("filler", 1, func() {}); err != nil {
+		t.Fatal(err) // fills the 1-deep queue
+	}
+
+	_, err := client.Analyze(ctx, &AnalyzeRequest{Binary: genBinary(t, 5, 4)})
+	var se *StatusError
+	if !asStatus(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded analyze returned %v, want 429", err)
+	}
+
+	close(release)
+	shutdown()
+}
+
+// TestServerDrainRejects: after Drain begins, health reports 503 and
+// job submissions are refused, while already-queued work completes.
+func TestServerDrain(t *testing.T) {
+	srv, client, _ := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	bin := genBinary(t, 9, 8)
+	if _, err := client.Analyze(ctx, &AnalyzeRequest{Binary: bin}); err != nil {
+		t.Fatal(err)
+	}
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Health(ctx); err == nil {
+		t.Error("health succeeded on a drained server")
+	}
+	_, err := client.Analyze(ctx, &AnalyzeRequest{Binary: bin})
+	var se *StatusError
+	if !asStatus(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("analyze on drained server returned %v, want 503", err)
+	}
+}
+
+// TestServerBadRequests: malformed bodies map to 4xx, never 5xx or a
+// daemon crash.
+func TestServerBadRequests(t *testing.T) {
+	_, client, shutdown := newTestServer(t, Config{Workers: 1, MaxBinaryBytes: 1 << 16})
+	defer shutdown()
+	hc := client.httpClient()
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty body", "", http.StatusBadRequest},
+		{"not json", "hello", http.StatusBadRequest},
+		{"unknown field", `{"binary":"AAAA","bogus":1}`, http.StatusBadRequest},
+		{"empty binary", `{"binary":""}`, http.StatusBadRequest},
+		{"trailing garbage", `{"binary":"AAAA"} extra`, http.StatusBadRequest},
+		{"not a container", `{"binary":"AAAA"}`, http.StatusBadRequest},
+		{"oversized", `{"binary":"` + strings.Repeat("A", 1<<17) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		res, err := hc.Post(client.Base+"/v1/analyze", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, res.StatusCode, tc.status)
+		}
+	}
+}
+
+func asStatus(err error, se **StatusError) bool { return errors.As(err, se) }

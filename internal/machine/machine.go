@@ -137,6 +137,13 @@ func trailingZeros(x uint64) int {
 	return n
 }
 
+// Words returns the set's raw 128-bit representation (for
+// serialization; see RegSetFromWords).
+func (s RegSet) Words() (lo, hi uint64) { return s.lo, s.hi }
+
+// RegSetFromWords rebuilds a set from its Words representation.
+func RegSetFromWords(lo, hi uint64) RegSet { return RegSet{lo: lo, hi: hi} }
+
 // NewRegSet builds a set from the given registers.
 func NewRegSet(regs ...Reg) RegSet {
 	var s RegSet

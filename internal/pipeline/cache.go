@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"eel/internal/cfg"
 	"eel/internal/core"
@@ -13,16 +14,16 @@ import (
 // analysisVersion is baked into every cache key; bump it whenever the
 // CFG builder, liveness, dominator, loop, or slicing code changes
 // meaning, so stale entries from an older analysis can never be
-// returned.
-const analysisVersion = 1
+// returned.  Version 2 switched the image salt from whole-text
+// hashing to layout hashing plus per-bundle external-read validation
+// (see imageSalt), so keys from version 1 mean something different.
+const analysisVersion = 2
 
 // Key content-addresses one routine analysis: a 64-bit FNV-1a digest
 // over the routine's machine words, its entry-point offsets, the
 // analysis version, the option bits that change analysis results, and
-// a whole-image salt (dispatch tables referenced by indirect-jump
-// slicing live outside the routine's own words, so two images that
-// differ anywhere may slice differently).  Start and the word count
-// are kept alongside the digest: block and instruction addresses are
+// a whole-image salt (see imageSalt).  Start and the word count are
+// kept alongside the digest: block and instruction addresses are
 // absolute, so an analysis is only reusable for a routine loaded at
 // the same address, and keeping them in the key also cuts the
 // collision surface.
@@ -30,6 +31,16 @@ type Key struct {
 	Hash  uint64
 	Start uint32
 	Words uint32
+}
+
+// readDep records one word of the image outside the routine's own
+// extent that the analysis consulted (a dispatch table or literal
+// pointer slot found by indirect-jump slicing).  A cached bundle is
+// valid only while every recorded word still reads the same.
+type readDep struct {
+	addr uint32
+	word uint32
+	ok   bool
 }
 
 // bundle is the immutable payload cached per key.  Graphs, liveness
@@ -48,22 +59,55 @@ type bundle struct {
 	// while this analysis was first computed, so a hit on a fresh
 	// executable replays the split; 0 when none.
 	tail uint32
+	// reads are the analysis's out-of-routine image dependencies,
+	// validated on every hit (see imageSalt for why the key alone
+	// cannot cover them).
+	reads []readDep
 	// work volume, replayed into Stats on a hit so cached and
 	// uncached runs report comparable totals.
 	insts, blocks, edges int64
 }
 
+// depsValid reports whether every external word b's analysis read
+// still has the value it read — the incremental-re-analysis
+// invariant: a routine's cached bundle survives edits elsewhere in
+// the image exactly when none of the words it actually consulted
+// changed.
+func (b *bundle) depsValid(e *core.Executable) bool {
+	for _, d := range b.reads {
+		w, ok := e.ReadWord(d.addr)
+		if ok != d.ok || (ok && w != d.word) {
+			return false
+		}
+	}
+	return true
+}
+
+// Backend is a second-level cache consulted when the in-memory tier
+// misses: Load returns the serialized bundle stored under k, Store
+// persists one.  Implementations must be safe for concurrent use;
+// DiskStore is the production implementation (content-addressed
+// files, LRU-bounded, survives restarts).  A Backend sees only
+// opaque bytes — the pipeline owns the bundle codec (codec.go).
+type Backend interface {
+	Load(k Key) ([]byte, bool)
+	Store(k Key, data []byte)
+}
+
 // Cache is a bounded, content-addressed memoization of routine
-// analyses with LRU eviction.  It is safe for concurrent use by the
-// pipeline's workers and may be shared across executables and across
-// AnalyzeAll runs; re-analyzing an unchanged program is pure hits.
+// analyses with LRU eviction, optionally backed by a persistent
+// second level.  It is safe for concurrent use by the pipeline's
+// workers and may be shared across executables and across AnalyzeAll
+// runs; re-analyzing an unchanged program is pure hits.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[Key]*list.Element
 	order    *list.List // front = most recently used
 
-	hits, misses, evictions uint64
+	backend Backend
+
+	hits, misses, evictions atomic.Uint64
 }
 
 // lruEntry is what order elements carry.
@@ -88,24 +132,42 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// get returns the cached bundle for k.  The hit or miss is counted
-// twice: on the cache's lifetime counters and on col's per-run
-// counters.  Attributing at the access (rather than differencing the
-// lifetime counters around a run) is what keeps concurrent AnalyzeAll
-// runs sharing one cache from claiming each other's traffic.
-func (c *Cache) get(k Key, col *collector) (*bundle, bool) {
+// SetBackend attaches a second-level store consulted on in-memory
+// misses and populated on computes.  Call it before sharing the
+// cache; the backend itself must be concurrency-safe.
+func (c *Cache) SetBackend(b Backend) { c.backend = b }
+
+// Backend returns the attached second-level store, or nil.
+func (c *Cache) Backend() Backend { return c.backend }
+
+// lookup returns the cached bundle for k without touching hit/miss
+// accounting (the caller counts after validating the bundle against
+// the executable, so a dependency-invalidated entry counts as a
+// miss, not a hit).
+func (c *Cache) lookup(k Key) (*bundle, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
-		c.misses++
-		col.cacheMisses.Add(1)
 		return nil, false
 	}
-	c.hits++
-	col.cacheHits.Add(1)
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).b, true
+}
+
+// countHit / countMiss attribute one access to both the cache's
+// lifetime counters and col's per-run counters.  Attributing at the
+// access (rather than differencing the lifetime counters around a
+// run) is what keeps concurrent AnalyzeAll runs sharing one cache
+// from claiming each other's traffic.
+func (c *Cache) countHit(col *collector) {
+	c.hits.Add(1)
+	col.cacheHits.Add(1)
+}
+
+func (c *Cache) countMiss(col *collector) {
+	c.misses.Add(1)
+	col.cacheMisses.Add(1)
 }
 
 // put stores b under k, evicting least-recently-used entries beyond
@@ -129,7 +191,7 @@ func (c *Cache) put(k Key, b *bundle, col *collector) {
 		}
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*lruEntry).key)
-		c.evictions++
+		c.evictions.Add(1)
 		col.cacheEvict.Add(1)
 	}
 }
@@ -143,24 +205,30 @@ func (c *Cache) Len() int {
 
 // Counters returns lifetime hit/miss/eviction counts.
 func (c *Cache) Counters() (hits, misses, evictions uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
 
-// Reset empties the cache and zeroes its counters.
+// Reset empties the in-memory tier and zeroes its counters (an
+// attached backend is untouched: its contents are still valid).
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[Key]*list.Element)
 	c.order = list.New()
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
 }
 
-// imageSalt digests everything about the image that is not the
-// routine's own words but can still influence its analysis: section
-// layout and contents (dispatch tables!), the entry point, and the
-// container format.
+// imageSalt digests the image properties outside a routine's own
+// words that can still influence its analysis: the container format,
+// the entry point, every section's name and placement, and the full
+// contents of non-text sections.  The text section contributes only
+// its layout — hashing its contents would make every routine's key
+// change whenever any routine changes, defeating incremental
+// re-analysis.  What this leaves uncovered (text words outside the
+// routine that slicing read: dispatch tables, literal pointer slots)
+// is recorded per bundle as readDeps and validated on every hit.
 func imageSalt(e *core.Executable) uint64 {
 	h := fnv.New64a()
 	writeU32 := func(v uint32) {
@@ -168,12 +236,15 @@ func imageSalt(e *core.Executable) uint64 {
 	}
 	h.Write([]byte(e.File.Format))
 	writeU32(e.File.Entry)
+	text := e.File.Text()
 	for i := range e.File.Sections {
 		s := &e.File.Sections[i]
 		h.Write([]byte(s.Name))
 		writeU32(s.Addr)
 		writeU32(uint32(len(s.Data)))
-		h.Write(s.Data)
+		if s != text {
+			h.Write(s.Data)
+		}
 	}
 	return h.Sum64()
 }

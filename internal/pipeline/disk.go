@@ -1,0 +1,361 @@
+package pipeline
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DiskStore is the persistent second level of the analysis cache: a
+// directory of content-addressed entry files, one per Key, that
+// survives process restarts and is shared by every client of a
+// long-running server (cmd/eeld).  It implements Backend.
+//
+// Properties the service depends on:
+//
+//   - Crash safety: entries are written to a temp file and renamed
+//     into place, so a crash mid-write leaves at most a stray temp
+//     file, never a half-written entry under a valid name.
+//   - Corruption safety: every entry carries a magic, a version, a
+//     length, and an FNV-64a checksum; a truncated or bit-flipped
+//     entry is silently discarded (and deleted) on load, never fatal.
+//   - Bounded: both entry count and total byte size are capped; the
+//     least-recently-used entries are evicted (their files deleted)
+//     when a store pushes past either bound.
+//   - Concurrent: loads, stores, and evictions may interleave freely.
+//     A reader that loses the race with an eviction sees a miss.
+//
+// Restart recovery scans the directory once: undamaged entries are
+// indexed (oldest access first, using file mtimes as the cross-
+// process LRU approximation), temp files are swept, and anything
+// unreadable is removed.
+type DiskStore struct {
+	dir string
+
+	mu         sync.Mutex
+	entries    map[Key]*list.Element
+	order      *list.List // front = most recently used
+	totalBytes int64
+	maxEntries int
+	maxBytes   int64
+
+	loads, loadHits, stores, evictions, corrupt atomic.Uint64
+	evictedBytes                                atomic.Uint64
+}
+
+// diskEntry is what order elements carry.
+type diskEntry struct {
+	key  Key
+	size int64
+}
+
+// Default DiskStore bounds.
+const (
+	DefaultDiskEntries = 65536
+	DefaultDiskBytes   = 256 << 20
+)
+
+const (
+	diskMagic  = 0x45454c42 // "EELB"
+	diskSuffix = ".eelb"
+	tmpPrefix  = "tmp-"
+)
+
+// OpenDiskStore opens (creating if needed) a persistent store rooted
+// at dir, holding at most maxEntries entries and maxBytes total bytes
+// (<= 0 selects the defaults).  Existing entries are re-indexed so a
+// restarted server starts warm.
+func OpenDiskStore(dir string, maxEntries int, maxBytes int64) (*DiskStore, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultDiskEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: disk store: %w", err)
+	}
+	s := &DiskStore{
+		dir:        dir,
+		entries:    map[Key]*list.Element{},
+		order:      list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans dir, sweeping temp files and indexing entries oldest
+// first so the in-memory LRU order approximates cross-restart use.
+func (s *DiskStore) recover() error {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("pipeline: disk store: %w", err)
+	}
+	type found struct {
+		key   Key
+		size  int64
+		mtime time.Time
+	}
+	var all []found
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(s.dir, name)) // crash leftovers
+			continue
+		}
+		key, ok := parseEntryName(name)
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		all = append(all, found{key: key, size: info.Size(), mtime: info.ModTime()})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	for _, f := range all {
+		// PushFront in oldest→newest order leaves the newest at the
+		// front, i.e. most recently used.
+		s.entries[f.key] = s.order.PushFront(&diskEntry{key: f.key, size: f.size})
+		s.totalBytes += f.size
+	}
+	s.mu.Lock()
+	s.evictLocked(nil)
+	s.mu.Unlock()
+	return nil
+}
+
+// entryName renders k as a filename; parseEntryName inverts it.
+func entryName(k Key) string {
+	return fmt.Sprintf("%016x-%08x-%06x%s", k.Hash, k.Start, k.Words, diskSuffix)
+}
+
+func parseEntryName(name string) (Key, bool) {
+	if !strings.HasSuffix(name, diskSuffix) {
+		return Key{}, false
+	}
+	var k Key
+	_, err := fmt.Sscanf(strings.TrimSuffix(name, diskSuffix), "%16x-%8x-%6x", &k.Hash, &k.Start, &k.Words)
+	if err != nil {
+		return Key{}, false
+	}
+	return k, true
+}
+
+// frame wraps payload in the on-disk envelope: magic, version, key
+// echo, length, checksum, payload.  The key echo guards against a
+// renamed or hash-colliding file serving the wrong entry.
+func frame(k Key, payload []byte) []byte {
+	buf := make([]byte, 0, 44+len(payload))
+	var hdr [44]byte
+	binary.BigEndian.PutUint32(hdr[0:], diskMagic)
+	binary.BigEndian.PutUint32(hdr[4:], codecVersion)
+	binary.BigEndian.PutUint64(hdr[8:], k.Hash)
+	binary.BigEndian.PutUint32(hdr[16:], k.Start)
+	binary.BigEndian.PutUint32(hdr[20:], k.Words)
+	binary.BigEndian.PutUint64(hdr[24:], uint64(len(payload)))
+	h := fnv.New64a()
+	h.Write(payload)
+	binary.BigEndian.PutUint64(hdr[32:], h.Sum64())
+	binary.BigEndian.PutUint32(hdr[40:], 0) // reserved
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+// unframe validates the envelope and returns the payload.
+func unframe(k Key, data []byte) ([]byte, error) {
+	if len(data) < 44 {
+		return nil, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if binary.BigEndian.Uint32(data[0:]) != diskMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	if v := binary.BigEndian.Uint32(data[4:]); v != codecVersion {
+		return nil, fmt.Errorf("codec version %d (want %d)", v, codecVersion)
+	}
+	ek := Key{
+		Hash:  binary.BigEndian.Uint64(data[8:]),
+		Start: binary.BigEndian.Uint32(data[16:]),
+		Words: binary.BigEndian.Uint32(data[20:]),
+	}
+	if ek != k {
+		return nil, fmt.Errorf("key mismatch")
+	}
+	n := binary.BigEndian.Uint64(data[24:])
+	if n != uint64(len(data)-44) {
+		return nil, fmt.Errorf("length %d does not match %d payload bytes", n, len(data)-44)
+	}
+	payload := data[44:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != binary.BigEndian.Uint64(data[32:]) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Load implements Backend: it returns the payload stored under k, or
+// ok=false.  Damaged entries are deleted and reported as misses.
+func (s *DiskStore) Load(k Key) ([]byte, bool) {
+	s.loads.Add(1)
+	path := filepath.Join(s.dir, entryName(k))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// Lost a race with an eviction, or never stored: a miss.
+		s.dropIndex(k)
+		return nil, false
+	}
+	payload, err := unframe(k, data)
+	if err != nil {
+		s.corrupt.Add(1)
+		os.Remove(path)
+		s.dropIndex(k)
+		return nil, false
+	}
+	s.touch(k, int64(len(data)))
+	// Refresh mtime so a future restart's LRU recovery sees the use;
+	// best-effort (failure only skews cross-restart eviction order).
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	s.loadHits.Add(1)
+	return payload, true
+}
+
+// Store implements Backend: it persists payload under k, evicting
+// least-recently-used entries beyond the store's bounds.
+func (s *DiskStore) Store(k Key, payload []byte) {
+	data := frame(k, payload)
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		return
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, entryName(k))); err != nil {
+		os.Remove(tmpName)
+		return
+	}
+	s.stores.Add(1)
+
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		de := el.Value.(*diskEntry)
+		s.totalBytes += int64(len(data)) - de.size
+		de.size = int64(len(data))
+		s.order.MoveToFront(el)
+	} else {
+		s.entries[k] = s.order.PushFront(&diskEntry{key: k, size: int64(len(data))})
+		s.totalBytes += int64(len(data))
+	}
+	var victims []Key
+	s.evictLocked(&victims)
+	s.mu.Unlock()
+	for _, v := range victims {
+		os.Remove(filepath.Join(s.dir, entryName(v)))
+	}
+}
+
+// evictLocked trims the index to the store's bounds, recording the
+// evicted keys in victims (nil to skip); the caller deletes the files
+// outside the lock.  recover passes nil and deletes nothing — bounds
+// shrank between runs only if the caller reconfigured them, and the
+// next Store pass cleans up.
+func (s *DiskStore) evictLocked(victims *[]Key) {
+	for len(s.entries) > s.maxEntries || s.totalBytes > s.maxBytes {
+		last := s.order.Back()
+		if last == nil {
+			break
+		}
+		de := last.Value.(*diskEntry)
+		s.order.Remove(last)
+		delete(s.entries, de.key)
+		s.totalBytes -= de.size
+		s.evictions.Add(1)
+		s.evictedBytes.Add(uint64(de.size))
+		if victims != nil {
+			*victims = append(*victims, de.key)
+		}
+	}
+}
+
+// touch refreshes k's LRU position (re-inserting it if an eviction
+// removed the index entry while the file still existed).
+func (s *DiskStore) touch(k Key, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.order.PushFront(&diskEntry{key: k, size: size})
+	s.totalBytes += size
+}
+
+// dropIndex forgets k without touching the filesystem.
+func (s *DiskStore) dropIndex(k Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		de := el.Value.(*diskEntry)
+		s.order.Remove(el)
+		delete(s.entries, k)
+		s.totalBytes -= de.size
+	}
+}
+
+// Len returns the number of indexed entries.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the indexed entries' total on-disk size.
+func (s *DiskStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalBytes
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// DiskCounters reports a store's lifetime activity.
+type DiskCounters struct {
+	Loads, LoadHits, Stores, Evictions, Corrupt uint64
+	EvictedBytes                                uint64
+}
+
+// Counters returns lifetime load/store/eviction/corruption counts.
+func (s *DiskStore) Counters() DiskCounters {
+	return DiskCounters{
+		Loads:        s.loads.Load(),
+		LoadHits:     s.loadHits.Load(),
+		Stores:       s.stores.Load(),
+		Evictions:    s.evictions.Load(),
+		Corrupt:      s.corrupt.Load(),
+		EvictedBytes: s.evictedBytes.Load(),
+	}
+}

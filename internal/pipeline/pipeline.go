@@ -249,9 +249,29 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 	if opts.Cache != nil {
 		timed(col.hashNS, func() { key, keyOK = routineKey(e, r, salt) })
 		if keyOK {
-			if b, hit := opts.Cache.get(key, col); hit && bundleCovers(b, opts) {
+			// First level: in-memory bundle.  A hit still has to cover
+			// what this run asks for and have its out-of-routine read
+			// dependencies intact; anything else falls through and is
+			// counted as a miss.
+			if b, hit := opts.Cache.lookup(key); hit && bundleCovers(b, opts) && b.depsValid(e) {
+				opts.Cache.countHit(col)
 				return adoptBundle(e, r, b, col)
 			}
+			// Second level: persisted bundle.  Decode re-derives the
+			// instructions from this executable's image words, so a
+			// decoded bundle is native to e; promote it to the
+			// in-memory tier for the rest of the run.
+			if be := opts.Cache.Backend(); be != nil {
+				if data, ok := be.Load(key); ok {
+					if b, err := decodeBundle(e, data); err == nil && bundleCovers(b, opts) && b.depsValid(e) {
+						opts.Cache.put(key, b, col)
+						opts.Cache.countHit(col)
+						col.cacheDiskHits.Add(1)
+						return adoptBundle(e, r, b, col)
+					}
+				}
+			}
+			opts.Cache.countMiss(col)
 		}
 	}
 
@@ -302,6 +322,12 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 			blocks:   int64(len(g.Blocks)),
 			edges:    int64(len(g.Edges)),
 		}
+		// Snapshot the out-of-routine words the analysis consulted;
+		// depsValid re-reads them on every future hit.
+		for _, addr := range g.ExternalReads {
+			w, ok := e.ReadWord(addr)
+			b.reads = append(b.reads, readDep{addr: addr, word: w, ok: ok})
+		}
 		if r.End < preEnd {
 			// Analysis split an unreachable tail off this routine;
 			// remember it so a hit on a fresh executable replays the
@@ -309,6 +335,8 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 			b.tail = r.End
 		}
 		opts.Cache.put(key, b, col)
+		var persist []Key
+		persist = append(persist, key)
 		if b.tail != 0 {
 			// Also index by the shrunken extent, so re-analyzing this
 			// same (already split) executable still hits.
@@ -317,6 +345,13 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 			timed(col.hashNS, func() { postKey, postOK = routineKey(e, r, salt) })
 			if postOK {
 				opts.Cache.put(postKey, b, col)
+				persist = append(persist, postKey)
+			}
+		}
+		if be := opts.Cache.Backend(); be != nil {
+			data := encodeBundle(b)
+			for _, k := range persist {
+				be.Store(k, data)
 			}
 		}
 	}

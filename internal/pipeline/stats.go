@@ -51,6 +51,10 @@ type Stats struct {
 	CacheHits      uint64
 	CacheMisses    uint64
 	CacheEvictions uint64
+	// CacheDiskHits counts the subset of CacheHits served by decoding
+	// a persisted bundle from the cache's disk backend (rather than
+	// from the in-memory tier).
+	CacheDiskHits uint64
 }
 
 // RoutinesPerSec is the run's analysis throughput.
@@ -92,8 +96,8 @@ func (s Stats) String() string {
 		s.DomTime.Round(time.Microsecond), s.LoopTime.Round(time.Microsecond),
 		s.HashTime.Round(time.Microsecond))
 	if s.CacheHits+s.CacheMisses > 0 {
-		fmt.Fprintf(&b, "  cache: %d hits, %d misses, %d evictions (%.1f%% hit rate)",
-			s.CacheHits, s.CacheMisses, s.CacheEvictions, 100*s.CacheHitRate())
+		fmt.Fprintf(&b, "  cache: %d hits (%d from disk), %d misses, %d evictions (%.1f%% hit rate)",
+			s.CacheHits, s.CacheDiskHits, s.CacheMisses, s.CacheEvictions, 100*s.CacheHitRate())
 	} else {
 		fmt.Fprintf(&b, "  cache: disabled")
 	}
@@ -113,26 +117,28 @@ type collector struct {
 	cfgNS, liveNS, domNS, loopNS, hashNS *telemetry.Counter
 	insts, blocks, edges, errs           *telemetry.Counter
 	cacheHits, cacheMisses, cacheEvict   *telemetry.Counter
+	cacheDiskHits                        *telemetry.Counter
 	routineInsts                         *telemetry.Histogram
 }
 
 func newCollector() *collector {
 	reg := telemetry.New()
 	return &collector{
-		reg:          reg,
-		cfgNS:        reg.Counter("pipeline.cfg_ns"),
-		liveNS:       reg.Counter("pipeline.liveness_ns"),
-		domNS:        reg.Counter("pipeline.dominators_ns"),
-		loopNS:       reg.Counter("pipeline.loops_ns"),
-		hashNS:       reg.Counter("pipeline.hash_ns"),
-		insts:        reg.Counter("pipeline.insts_decoded"),
-		blocks:       reg.Counter("pipeline.blocks_built"),
-		edges:        reg.Counter("pipeline.edges_built"),
-		errs:         reg.Counter("pipeline.errors"),
-		cacheHits:    reg.Counter("pipeline.cache.hits"),
-		cacheMisses:  reg.Counter("pipeline.cache.misses"),
-		cacheEvict:   reg.Counter("pipeline.cache.evictions"),
-		routineInsts: reg.Histogram("pipeline.routine_insts"),
+		reg:           reg,
+		cfgNS:         reg.Counter("pipeline.cfg_ns"),
+		liveNS:        reg.Counter("pipeline.liveness_ns"),
+		domNS:         reg.Counter("pipeline.dominators_ns"),
+		loopNS:        reg.Counter("pipeline.loops_ns"),
+		hashNS:        reg.Counter("pipeline.hash_ns"),
+		insts:         reg.Counter("pipeline.insts_decoded"),
+		blocks:        reg.Counter("pipeline.blocks_built"),
+		edges:         reg.Counter("pipeline.edges_built"),
+		errs:          reg.Counter("pipeline.errors"),
+		cacheHits:     reg.Counter("pipeline.cache.hits"),
+		cacheMisses:   reg.Counter("pipeline.cache.misses"),
+		cacheEvict:    reg.Counter("pipeline.cache.evictions"),
+		cacheDiskHits: reg.Counter("pipeline.cache.disk_hits"),
+		routineInsts:  reg.Histogram("pipeline.routine_insts"),
 	}
 }
 
@@ -156,4 +162,5 @@ func (c *collector) snapshot(s *Stats) {
 	s.CacheHits = c.cacheHits.Value()
 	s.CacheMisses = c.cacheMisses.Value()
 	s.CacheEvictions = c.cacheEvict.Value()
+	s.CacheDiskHits = c.cacheDiskHits.Value()
 }

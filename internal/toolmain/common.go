@@ -1,0 +1,115 @@
+package toolmain
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	_ "eel/internal/aout"
+	_ "eel/internal/elf32"
+
+	"eel/internal/binfile"
+	"eel/internal/core"
+	"eel/internal/pipeline"
+	"eel/internal/progen"
+	"eel/internal/telemetry"
+)
+
+// Common bundles the flags and lifecycle every EEL command shares:
+// the telemetry trio (-metrics, -trace, -pprof), the analysis worker
+// count (-j), pipeline statistics (-stats), and synthetic-input
+// generation (-gen, -gen-routines).  Commands register it on their
+// flag set, parse, Start it, and use the accessors instead of
+// re-implementing the wiring.
+type Common struct {
+	// Jobs is the -j analysis worker count (0 = GOMAXPROCS).
+	Jobs int
+	// Stats is -stats: print pipeline statistics after analysis.
+	Stats bool
+	// Gen is the -gen progen seed, -1 when absent; GenRoutines is
+	// -gen-routines.
+	Gen         int64
+	GenRoutines int
+
+	tf   *telemetry.ToolFlags
+	tool *telemetry.Tool
+}
+
+// AddCommon registers the shared flags on fs and returns the struct
+// their parsed values land in.
+func AddCommon(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Jobs, "j", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.Stats, "stats", false, "print analysis pipeline statistics")
+	fs.Int64Var(&c.Gen, "gen", -1, "generate a synthetic input program with this seed")
+	fs.IntVar(&c.GenRoutines, "gen-routines", 40, "routines in the generated program")
+	c.tf = telemetry.AddFlags(fs)
+	return c
+}
+
+// Start brings up whatever telemetry sinks the flags asked for.  Call
+// it after flag parsing; the returned shutdown function flushes
+// metrics to w and must run before the command exits (defer it).
+func (c *Common) Start(w io.Writer) (func() error, error) {
+	tool, err := c.tf.Start()
+	if err != nil {
+		return nil, err
+	}
+	c.tool = tool
+	return func() error { return tool.Close(w) }, nil
+}
+
+// OpenInput resolves the command's input program: a generated progen
+// workload when -gen was given, otherwise the named file.  The
+// returned name suits deriving output paths ("genN" for generated
+// inputs without an explicit name).
+func (c *Common) OpenInput(arg string) (*binfile.File, string, error) {
+	switch {
+	case c.Gen >= 0:
+		cfg := progen.DefaultConfig(c.Gen)
+		cfg.Routines = c.GenRoutines
+		p, err := progen.Generate(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		name := arg
+		if name == "" {
+			name = fmt.Sprintf("gen%d", c.Gen)
+		}
+		return p.File, name, nil
+	case arg != "":
+		f, err := binfile.ReadFile(arg)
+		return f, arg, err
+	}
+	return nil, "", fmt.Errorf("need an input executable or -gen seed")
+}
+
+// Load wraps a parsed container as an analyzable executable (symbol
+// refinement included).
+func Load(f *binfile.File) (*core.Executable, error) {
+	e, err := core.NewExecutable(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ReadContents(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Analyze runs the concurrent pipeline with the -j worker count wired
+// in (unless opts already names one) and prints the run's statistics
+// when -stats asked for them.
+func (c *Common) Analyze(e *core.Executable, opts pipeline.Options) (*pipeline.Result, error) {
+	if opts.Workers == 0 {
+		opts.Workers = c.Jobs
+	}
+	res, err := pipeline.AnalyzeAll(e, opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.Stats {
+		fmt.Println(res.Stats)
+	}
+	return res, nil
+}

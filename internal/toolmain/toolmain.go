@@ -11,16 +11,10 @@ import (
 	"sort"
 	"time"
 
-	_ "eel/internal/aout"
-	_ "eel/internal/elf32"
-
 	"eel/internal/binfile"
-	"eel/internal/core"
 	"eel/internal/pipeline"
-	"eel/internal/progen"
 	"eel/internal/qpt"
 	"eel/internal/sim"
-	"eel/internal/telemetry"
 )
 
 // Run executes the tool with the given mode over args.
@@ -28,53 +22,26 @@ func Run(tool string, mode qpt.Mode, args []string) error {
 	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	out := fs.String("o", "", "output path (default <input>.count)")
 	runIt := fs.Bool("run", false, "execute the instrumented program and print the profile")
-	gen := fs.Int64("gen", -1, "generate a synthetic input program with this seed")
 	optimal := fs.Bool("optimal", false, "use Ball-Larus spanning-tree counter placement (counts derived by flow conservation)")
-	genRoutines := fs.Int("gen-routines", 40, "routines in the generated program")
 	top := fs.Int("top", 10, "edges to print with -run")
 	maxSteps := fs.Uint64("max-steps", 500_000_000, "emulator step limit")
-	jobs := fs.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
-	stats := fs.Bool("stats", false, "print analysis pipeline statistics")
-	tf := telemetry.AddFlags(fs)
+	com := AddCommon(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	tel, err := tf.Start()
+	stop, err := com.Start(os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer tel.Close(os.Stderr)
+	defer stop()
 
-	var f *binfile.File
-	input := fs.Arg(0)
-	switch {
-	case *gen >= 0:
-		cfg := progen.DefaultConfig(*gen)
-		cfg.Routines = *genRoutines
-		p, err := progen.Generate(cfg)
-		if err != nil {
-			return err
-		}
-		f = p.File
-		if input == "" {
-			input = fmt.Sprintf("gen%d", *gen)
-		}
-	case input != "":
-		var err error
-		f, err = binfile.ReadFile(input)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("need an input executable or -gen seed")
-	}
-
-	e, err := core.NewExecutable(f)
+	f, input, err := com.OpenInput(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	if err := e.ReadContents(); err != nil {
+	e, err := Load(f)
+	if err != nil {
 		return err
 	}
 
@@ -88,16 +55,11 @@ func Run(tool string, mode qpt.Mode, args []string) error {
 		e.FoldDelaySlots = false
 	}
 	start := time.Now()
-	pres, err := pipeline.AnalyzeAll(e, pipeline.Options{
-		Workers:      *jobs,
+	if _, err := com.Analyze(e, pipeline.Options{
 		NoDominators: true,
 		NoLoops:      true,
-	})
-	if err != nil {
+	}); err != nil {
 		return err
-	}
-	if *stats {
-		fmt.Println(pres.Stats)
 	}
 
 	var res *qpt.Result

@@ -1,6 +1,7 @@
 #!/bin/sh
 # bench.sh — run the pipeline and emulator benchmarks and emit
-# BENCH_pipeline.json, BENCH_sim.json, and BENCH_telemetry.json.
+# BENCH_pipeline.json, BENCH_sim.json, BENCH_telemetry.json, and
+# BENCH_eeld.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -92,3 +93,17 @@ END {
 ' "$telraw" > "$telout"
 
 echo "wrote $telout"
+
+# --- eeld service: concurrent clients, cold vs warm-restart cache ---
+# Drives an in-process daemon with concurrent clients over a progen
+# corpus, drains it, restarts on the same cache directory, and replays
+# the workload.  BENCH_eeld.json records per-phase p50/p99 latency,
+# request throughput, cache hit rates, and bytes-rewritten/sec; the
+# warm-restart phase must serve >= 90% of the corpus from the
+# persistent per-routine cache or the run fails.
+go run ./cmd/eelload \
+    -clients "${EELD_CLIENTS:-32}" -requests "${EELD_REQUESTS:-6}" \
+    -corpus "${EELD_CORPUS:-8}" -routines "${EELD_ROUTINES:-24}" \
+    -min-warm-hit 0.9 -out BENCH_eeld.json
+
+echo "wrote BENCH_eeld.json"
