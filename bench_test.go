@@ -500,6 +500,18 @@ var benchLoopProgram = func() *progen.Program {
 	return progen.MustGenerate(cfg)
 }()
 
+// benchCallProgram is the call-heavy flavour: every non-tail routine
+// makes windowed calls deeper into the DAG, so execution is dominated
+// by call/return boundaries — exactly where the routine tier's
+// zero-spill cross-routine continuation pays and where per-block
+// engines pay dispatch on every transfer.
+var benchCallProgram = func() *progen.Program {
+	cfg := progen.DefaultConfig(2012)
+	cfg.Routines = 30 // ~5.9M executed insts: big enough to dwarf load/translate fixed costs, small enough for the interpreter leg of CI
+	cfg.CallHeavy = true
+	return progen.MustGenerate(cfg)
+}()
+
 // simFlavours are the workloads the engine benchmarks run; bench.sh
 // records each flavour separately in BENCH_sim.json.
 var simFlavours = []struct {
@@ -508,12 +520,18 @@ var simFlavours = []struct {
 }{
 	{"medium", benchProgram},
 	{"loopheavy", benchLoopProgram},
+	{"callheavy", benchCallProgram},
 }
 
 // benchmarkSim runs each workload flavour end to end in one of the
-// three execution engines and reports simulated instructions per
-// second; chained runs also report chain/IC hit rates and traces.
-func benchmarkSim(b *testing.B, nojit, nochain bool) {
+// four execution engines and reports simulated instructions per
+// second; chained runs also report chain/IC hit rates and traces,
+// routine runs the tier counters.  The routine tier compiles
+// synchronously at the lowest heat threshold so every iteration
+// measures steady-state routine execution (the content-addressed
+// program cache makes compilation a lookup after the first
+// iteration, mirroring a warmed long-running process).
+func benchmarkSim(b *testing.B, nojit, nochain, routine bool) {
 	for _, f := range simFlavours {
 		prog := f.prog
 		b.Run(f.name, func(b *testing.B) {
@@ -523,6 +541,11 @@ func benchmarkSim(b *testing.B, nojit, nochain bool) {
 			for i := 0; i < b.N; i++ {
 				cpu := sim.LoadFile(prog.File, nil)
 				cpu.NoJIT, cpu.NoChain = nojit, nochain
+				if routine {
+					cpu.EnableRoutines = true
+					cpu.RoutineSync = true
+					cpu.RoutineHotThreshold = 1
+				}
 				if err := cpu.Run(2_000_000_000); err != nil {
 					b.Fatal(err)
 				}
@@ -533,7 +556,10 @@ func benchmarkSim(b *testing.B, nojit, nochain bool) {
 			if sec > 0 {
 				b.ReportMetric(float64(insts)/sec, "sim-insts/s")
 			}
-			if !nojit && !nochain {
+			if routine {
+				b.ReportMetric(float64(k.RoutinesCompiled), "routines-compiled")
+				b.ReportMetric(float64(k.RoutineDeopts), "routine-deopts")
+			} else if !nojit && !nochain {
 				b.ReportMetric(hitPct(k.ChainHits, k.ChainMisses), "chain-hit-%")
 				b.ReportMetric(hitPct(k.ICHits, k.ICMisses), "ic-hit-%")
 				b.ReportMetric(float64(k.Traces), "traces")
@@ -551,19 +577,26 @@ func hitPct(hits, misses uint64) float64 {
 }
 
 // BenchmarkSimInterp is the single-step AST-interpreter baseline.
-func BenchmarkSimInterp(b *testing.B) { benchmarkSim(b, true, false) }
+func BenchmarkSimInterp(b *testing.B) { benchmarkSim(b, true, false, false) }
 
 // BenchmarkSimTranslated is the translation-cache (threaded-code)
 // engine with chaining disabled — every superblock exit returns to
 // the dispatcher, as in the original engine; its sim-insts/s over
 // BenchmarkSimInterp's is the translation speedup.
-func BenchmarkSimTranslated(b *testing.B) { benchmarkSim(b, false, true) }
+func BenchmarkSimTranslated(b *testing.B) { benchmarkSim(b, false, true, false) }
 
-// BenchmarkSimChained is the full engine — translation cache plus
-// block chaining, indirect-jump inline caches, and trace extension
-// (the default).  Its sim-insts/s over BenchmarkSimTranslated's
-// isolates the dispatch overhead that chaining removes.
-func BenchmarkSimChained(b *testing.B) { benchmarkSim(b, false, false) }
+// BenchmarkSimChained is the block engine — translation cache plus
+// block chaining, indirect-jump inline caches, and trace extension.
+// Its sim-insts/s over BenchmarkSimTranslated's isolates the dispatch
+// overhead that chaining removes.
+func BenchmarkSimChained(b *testing.B) { benchmarkSim(b, false, false, false) }
+
+// BenchmarkSimRoutine is the whole-routine tier on top of the chained
+// engine: hot routine entries are compiled against CFG + liveness into
+// flat programs where registers and condition codes stay in locals
+// across block boundaries.  Its sim-insts/s over BenchmarkSimChained's
+// is the residency speedup.
+func BenchmarkSimRoutine(b *testing.B) { benchmarkSim(b, false, false, true) }
 
 // BenchmarkSimTelemetry is the observability-overhead experiment: the
 // same workload as BenchmarkSimTranslated with telemetry fully
@@ -578,7 +611,7 @@ func BenchmarkSimTelemetry(b *testing.B) {
 		telemetry.SetTracer(nil)
 		telemetry.Disable()
 	}()
-	benchmarkSim(b, false, false)
+	benchmarkSim(b, false, false, false)
 }
 
 // BenchmarkSimProfiled measures the per-pc profiling hooks eelprof

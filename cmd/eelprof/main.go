@@ -9,8 +9,14 @@
 //
 // Usage:
 //
-//	eelprof [-gen seed] [-gen-routines N] [-top N] [-nojit] [-nochain]
+//	eelprof [-gen seed] [-gen-routines N] [-top N]
+//	        [-engine interp|translated|chained|routine]
 //	        [-jitstats] [-j N] [-metrics] [-trace FILE] [-pprof ADDR] [input]
+//
+// Because profiling hooks record per-pc counts that the routine tier's
+// whole-routine programs do not maintain, -engine=routine degrades to
+// the chained engine here; the flag still exists so scripts can pass a
+// uniform engine selection to every tool.
 package main
 
 import (
@@ -32,11 +38,12 @@ import (
 func main() {
 	top := flag.Int("top", 10, "rows per table")
 	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
-	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
-	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
 	jitstats := flag.Bool("jitstats", false, "print chain/IC hit rates and trace counters")
+	eng := toolmain.AddEngine(flag.CommandLine)
 	com := toolmain.AddCommon(flag.CommandLine)
 	flag.Parse()
+	engine, err := eng.Name()
+	check(err)
 
 	stop, err := com.Start(os.Stderr)
 	check(err)
@@ -44,7 +51,7 @@ func main() {
 	f, name, err := com.OpenInput(flag.Arg(0))
 	check(err)
 
-	out, err := profileRun(f, name, *nojit, *nochain, *jitstats, com.Jobs, *top, *maxSteps)
+	out, err := profileRun(f, name, engine, *jitstats, com.Jobs, *top, *maxSteps)
 	check(err)
 	fmt.Print(out)
 
@@ -55,9 +62,9 @@ func main() {
 // and renders the profile report.  It is deterministic for a given
 // input: the same program produces byte-identical output under either
 // execution engine and any worker count.
-func profileRun(f *binfile.File, name string, nojit, nochain, jitstats bool, jobs, top int, maxSteps uint64) (string, error) {
+func profileRun(f *binfile.File, name, engine string, jitstats bool, jobs, top int, maxSteps uint64) (string, error) {
 	cpu := sim.LoadFile(f, nil)
-	cpu.NoJIT, cpu.NoChain = nojit, nochain
+	toolmain.ConfigureEngine(cpu, engine)
 	cpu.Decoder().AttachTelemetry(telemetry.Default())
 	prof := cpu.EnableProfile()
 	if err := cpu.Run(maxSteps); err != nil {

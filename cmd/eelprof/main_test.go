@@ -8,10 +8,10 @@ import (
 )
 
 // TestProfileDeterministic proves the acceptance property: the same
-// progen workload produces a byte-identical profile report under the
-// chained engine, the unchained translation cache, and the
-// single-step interpreter, repeated runs included, and regardless of
-// analysis worker count.
+// progen workload produces a byte-identical profile report under
+// every -engine selection (routine degrades to chained while
+// profiling), repeated runs included, and regardless of analysis
+// worker count.
 func TestProfileDeterministic(t *testing.T) {
 	cfg := progen.DefaultConfig(7)
 	cfg.Routines = 20
@@ -32,13 +32,15 @@ func TestProfileDeterministic(t *testing.T) {
 
 	var reports []string
 	for _, v := range []struct {
-		nojit   bool
-		nochain bool
-		jobs    int
-	}{{false, false, 1}, {false, false, 4}, {false, true, 1}, {true, false, 1}, {true, false, 4}} {
-		out, err := profileRun(p.File, "gen7", v.nojit, v.nochain, true, v.jobs, 8, 500_000_000)
+		engine string
+		jobs   int
+	}{
+		{"chained", 1}, {"chained", 4}, {"translated", 1},
+		{"interp", 1}, {"interp", 4}, {"routine", 1},
+	} {
+		out, err := profileRun(p.File, "gen7", v.engine, true, v.jobs, 8, 500_000_000)
 		if err != nil {
-			t.Fatalf("nojit=%v nochain=%v jobs=%d: %v", v.nojit, v.nochain, v.jobs, err)
+			t.Fatalf("engine=%s jobs=%d: %v", v.engine, v.jobs, err)
 		}
 		reports = append(reports, out)
 	}

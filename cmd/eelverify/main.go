@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	eelverify [-metrics] [-trace FILE] [-pprof ADDR] original edited
+//	eelverify [-engine interp|translated|chained|routine] [-metrics]
+//	          [-trace FILE] [-pprof ADDR] original edited
 //	eelverify -gen 7 -instrument     (generate, instrument, verify)
 //
 // With -instrument, routine analysis runs on the concurrent
@@ -33,11 +34,12 @@ import (
 func main() {
 	instrument := flag.Bool("instrument", false, "with -gen: instrument before verifying")
 	maxSteps := flag.Uint64("max-steps", 500_000_000, "emulator step limit")
-	nojit := flag.Bool("nojit", false, "disable the translation cache; single-step interpret")
-	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
-	jitstats := flag.Bool("jitstats", false, "print translation-cache chain/IC hit rates and traces built")
+	jitstats := flag.Bool("jitstats", false, "print translation-cache chain/IC hit rates, traces, and routine-tier counters")
+	eng := toolmain.AddEngine(flag.CommandLine)
 	com := toolmain.AddCommon(flag.CommandLine)
 	flag.Parse()
+	engine, err := eng.Name()
+	check(err)
 
 	stop, err := com.Start(os.Stderr)
 	check(err)
@@ -72,8 +74,8 @@ func main() {
 		check(fmt.Errorf("need two executables, or -gen"))
 	}
 
-	o, oOut, oRate := run(orig, *maxSteps, *nojit, *nochain)
-	e, eOut, eRate := run(edited, *maxSteps, *nojit, *nochain)
+	o, oOut, oRate := run(orig, *maxSteps, engine)
+	e, eOut, eRate := run(edited, *maxSteps, engine)
 
 	fmt.Printf("original: exit %d, %d instructions, %d bytes output, %.0f insts/sec\n",
 		o.ExitCode, o.InstCount, len(oOut), oRate)
@@ -93,10 +95,10 @@ func main() {
 	fmt.Println("VERIFY OK: identical behaviour")
 }
 
-func run(f *binfile.File, maxSteps uint64, nojit, nochain bool) (*sim.CPU, []byte, float64) {
+func run(f *binfile.File, maxSteps uint64, engine string) (*sim.CPU, []byte, float64) {
 	var out bytes.Buffer
 	cpu := sim.LoadFile(f, &out)
-	cpu.NoJIT, cpu.NoChain = nojit, nochain
+	toolmain.ConfigureEngine(cpu, engine)
 	start := time.Now()
 	if err := cpu.Run(maxSteps); err != nil {
 		check(fmt.Errorf("execution: %w", err))
@@ -121,6 +123,10 @@ func printJITStats(label string, cpu *sim.CPU) {
 	fmt.Printf("jit %s: blocks %d, chain-hit %.1f%%, ic-hit %.1f%%, victim-hits %d, traces %d (%d retired), deopts %d\n",
 		label, k.Builds, hitPct(k.ChainHits, k.ChainMisses), hitPct(k.ICHits, k.ICMisses),
 		k.VictimHits, k.Traces, k.TracesRetired, k.Deopts)
+	if cpu.EnableRoutines || k.TierPromotions > 0 {
+		fmt.Printf("jit %s: routines %d compiled (%d promotions), routine-deopts %d\n",
+			label, k.RoutinesCompiled, k.TierPromotions, k.RoutineDeopts)
+	}
 }
 
 func hitPct(hits, misses uint64) float64 {

@@ -18,6 +18,7 @@ import (
 	"eel/internal/progen"
 	"eel/internal/sim"
 	"eel/internal/telemetry"
+	"eel/internal/toolmain"
 )
 
 func main() {
@@ -25,8 +26,7 @@ func main() {
 	routines := flag.Int("routines", 40, "workload size")
 	lineBytes := flag.Int("line", 16, "cache line size")
 	sets := flag.Int("sets", 256, "direct-mapped sets")
-	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
-	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
+	eng := toolmain.AddEngine(flag.CommandLine)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -40,7 +40,7 @@ func main() {
 	check(err)
 
 	orig := sim.LoadFile(p.File, os.Stdout)
-	orig.NoJIT, orig.NoChain = *nojit, *nochain
+	check(eng.Configure(orig))
 	check(orig.Run(500_000_000))
 
 	exec, err := eel.Load(p.File)
@@ -55,7 +55,7 @@ func main() {
 	check(err)
 
 	inst := sim.LoadFile(edited, os.Stdout)
-	inst.NoJIT, inst.NoChain = *nojit, *nochain
+	check(eng.Configure(inst))
 	simStart := time.Now()
 	check(inst.Run(2_000_000_000))
 	simRate := float64(inst.InstCount) / time.Since(simStart).Seconds()

@@ -17,6 +17,7 @@ import (
 	"eel/internal/sim"
 	"eel/internal/sparc"
 	"eel/internal/telemetry"
+	"eel/internal/toolmain"
 )
 
 // program sums the integers 1..10 with a loop and reports whether
@@ -41,8 +42,7 @@ done:	mov 1, %g1
 `
 
 func main() {
-	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
-	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
+	eng := toolmain.AddEngine(flag.CommandLine)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -104,10 +104,10 @@ func main() {
 	// --- Run both versions ---
 	start := time.Now()
 	orig := sim.LoadFile(img, os.Stdout)
-	orig.NoJIT, orig.NoChain = *nojit, *nochain
+	check(eng.Configure(orig))
 	check(orig.Run(1_000_000))
 	inst := sim.LoadFile(edited, os.Stdout)
-	inst.NoJIT, inst.NoChain = *nojit, *nochain
+	check(eng.Configure(inst))
 	check(inst.Run(1_000_000))
 	rate := float64(orig.InstCount+inst.InstCount) / time.Since(start).Seconds()
 	fmt.Printf("original: exit %d in %d instructions\n", orig.ExitCode, orig.InstCount)

@@ -20,6 +20,7 @@ import (
 	"eel/internal/sim"
 	"eel/internal/sparc"
 	"eel/internal/telemetry"
+	"eel/internal/toolmain"
 )
 
 // Segment geometry: stores are confined to [SegBase, SegBase+SegSize).
@@ -43,8 +44,7 @@ main:	set 0x400010, %l0
 `
 
 func main() {
-	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
-	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
+	eng := toolmain.AddEngine(flag.CommandLine)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -66,7 +66,7 @@ func main() {
 
 	// Unsandboxed run: the wild store lands at 0x7fe000.
 	orig := sim.LoadFile(img, os.Stdout)
-	orig.NoJIT, orig.NoChain = *nojit, *nochain
+	check(eng.Configure(orig))
 	check(orig.Run(10000))
 	fmt.Printf("unsandboxed: [0x7fe000] = %d (corrupted), exit %d\n",
 		orig.Mem.Read32(0x7fe000), orig.ExitCode)
@@ -102,7 +102,7 @@ func main() {
 	check(err)
 
 	boxed := sim.LoadFile(edited, os.Stdout)
-	boxed.NoJIT, boxed.NoChain = *nojit, *nochain
+	check(eng.Configure(boxed))
 	start := time.Now()
 	check(boxed.Run(10000))
 	rate := float64(boxed.InstCount) / time.Since(start).Seconds()

@@ -21,13 +21,13 @@ import (
 	"eel/internal/sim"
 	"eel/internal/sparc"
 	"eel/internal/telemetry"
+	"eel/internal/toolmain"
 )
 
 func main() {
 	seed := flag.Int64("seed", 4, "workload seed")
 	show := flag.Int("show", 12, "trace entries to print")
-	nojit := flag.Bool("nojit", false, "disable the emulator's translation cache")
-	nochain := flag.Bool("nochain", false, "disable block chaining, inline caches, and traces")
+	eng := toolmain.AddEngine(flag.CommandLine)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -106,7 +106,7 @@ func main() {
 	}
 
 	cpu := sim.LoadFile(edited, os.Stdout)
-	cpu.NoJIT, cpu.NoChain = *nojit, *nochain
+	check(eng.Configure(cpu))
 	start := time.Now()
 	check(cpu.Run(500_000_000))
 	rate := float64(cpu.InstCount) / time.Since(start).Seconds()

@@ -1,0 +1,44 @@
+package dataflow
+
+import "eel/internal/machine"
+
+// PointLiveness maps individual program points (instruction addresses)
+// to the registers live immediately after that instruction executes.
+// It folds the block-level Liveness solution down to addresses so a
+// consumer that partitions code differently from the CFG builder (the
+// routine-tier compiler keeps its own leader partition) can still ask
+// liveness questions at arbitrary pcs.
+//
+// An address that appears in more than one block (delay-slot
+// duplication, overlapping entry splits) gets the union of every
+// occurrence's live-after set — the conservative answer for any
+// execution reaching that pc.
+type PointLiveness struct {
+	after map[uint32]machine.RegSet
+}
+
+// Points folds lv down to per-address live-after sets.
+func (lv *Liveness) Points() *PointLiveness {
+	pl := &PointLiveness{after: make(map[uint32]machine.RegSet)}
+	for _, b := range lv.g.Blocks {
+		for i, in := range b.Insts {
+			live := lv.LiveAfter(b, i)
+			if prev, ok := pl.after[in.Addr]; ok {
+				live = live.Union(prev)
+			}
+			pl.after[in.Addr] = live
+		}
+	}
+	return pl
+}
+
+// LiveAfter returns the registers live immediately after the
+// instruction at pc, and whether pc was part of the analyzed graph.
+// Callers must treat a missing pc as "everything live".
+func (pl *PointLiveness) LiveAfter(pc uint32) (machine.RegSet, bool) {
+	s, ok := pl.after[pc]
+	return s, ok
+}
+
+// Len reports how many program points the fold covered.
+func (pl *PointLiveness) Len() int { return len(pl.after) }

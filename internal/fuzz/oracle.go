@@ -283,7 +283,7 @@ type runResult struct {
 	err error
 }
 
-// Engine selects one of the emulator's three execution engines for a
+// Engine selects one of the emulator's four execution engines for a
 // lockstep run.
 type Engine int
 
@@ -291,6 +291,7 @@ const (
 	EngineInterp  Engine = iota // single-step AST interpreter
 	EngineJIT                   // translation cache, no chaining
 	EngineChained               // chaining + inline caches + traces
+	EngineRoutine               // whole-routine tier over chained
 )
 
 func (e Engine) String() string {
@@ -299,8 +300,10 @@ func (e Engine) String() string {
 		return "interpreter"
 	case EngineJIT:
 		return "jit"
-	default:
+	case EngineChained:
 		return "chained"
+	default:
+		return "routine"
 	}
 }
 
@@ -318,20 +321,27 @@ func runOnce(f *binfile.File, maxSteps uint64, eng Engine) (res runResult) {
 	cpu := sim.LoadFile(f, &buf)
 	cpu.NoJIT = eng == EngineInterp
 	cpu.NoChain = eng == EngineJIT
+	if eng == EngineRoutine {
+		// Synchronous promotion at the lowest threshold so every run
+		// actually exercises routine-compiled code, deterministically.
+		cpu.EnableRoutines = true
+		cpu.RoutineSync = true
+		cpu.RoutineHotThreshold = 1
+	}
 	res.cpu = cpu
 	res.err = cpu.Run(maxSteps)
 	return res
 }
 
-// CheckLockstep runs the program to completion on all three execution
+// CheckLockstep runs the program to completion on all four execution
 // engines — the single-step interpreter, the translation-cache engine,
-// and the chained/trace engine — and requires bit-identical outcomes
-// against the interpreter: same error (if any), same output bytes,
-// same architected state, same memory image.
+// the chained/trace engine, and the whole-routine tier — and requires
+// bit-identical outcomes against the interpreter: same error (if any),
+// same output bytes, same architected state, same memory image.
 func CheckLockstep(p *Program, maxSteps uint64) []Violation {
 	interp := runOnce(p.File, maxSteps, EngineInterp)
 	var vs []Violation
-	for _, eng := range []Engine{EngineJIT, EngineChained} {
+	for _, eng := range []Engine{EngineJIT, EngineChained, EngineRoutine} {
 		vs = append(vs, lockstepDiff(interp, runOnce(p.File, maxSteps, eng), eng)...)
 	}
 	return vs

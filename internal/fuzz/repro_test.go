@@ -47,3 +47,51 @@ func TestFuzzRegressions(t *testing.T) {
 		})
 	}
 }
+
+// TestRoutineTierRegressions pins routine-tier bring-up bugs under the
+// four-way lockstep oracle.  The tight step budgets matter: the first
+// bug only shows when the limit lands while routine-compiled code is
+// mid-flight.
+func TestRoutineTierRegressions(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfg      Config
+		maxSteps uint64
+		why      string
+	}{
+		{
+			// Routine-tier bring-up: runRoutine's budget refusal spilled
+			// with e.PC still holding the fill-time pc — in-program
+			// terminators return a block index without updating PC — so
+			// a step limit landing at an interior block head reported
+			// the routine's entry as the faulting pc.  Truncated budgets
+			// across a loop-carrying program make the refusal land on
+			// interior heads.
+			name:     "budget-refusal-interior-pc",
+			cfg:      Config{Seed: 41, Routines: 3, BodyOps: 6, Calls: true, Windows: true},
+			maxSteps: 97,
+			why:      "step limit inside a routine must report the interior block pc",
+		},
+		{
+			// Full-feature lockstep over the routine tier: calls and
+			// returns between installed routines take the zero-spill
+			// cross-routine continuation, traps and window over/underflow
+			// spill at the boundary.
+			name:     "cross-routine-continuation",
+			cfg:      Config{Seed: 11, Routines: 5, BodyOps: 8, Calls: true, Windows: true, Traps: true, Mem: true, MulDiv: true},
+			maxSteps: 10_000_000,
+			why:      "routine exits onto installed heads must continue with exact state",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range CheckLockstep(p, tc.maxSteps) {
+				t.Errorf("%s (%s)", v, tc.why)
+			}
+		})
+	}
+}

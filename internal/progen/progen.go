@@ -67,6 +67,11 @@ type Config struct {
 	// MemHeavy biases generation toward loads and stores (for the
 	// Active Memory experiment's workloads).
 	MemHeavy bool
+	// CallHeavy biases generation toward deep call DAGs with register
+	// windows on every non-tail routine — heavy cross-routine control
+	// flow and window pressure (the routine tier's callheavy
+	// benchmark flavour).
+	CallHeavy bool
 	// HotLoop, when positive, adds a counted loop to main that calls
 	// the DAG roots that many times — a loop-heavy workload whose
 	// dynamic execution is dominated by repeated paths across routine
@@ -162,6 +167,13 @@ func Generate(cfg Config) (*Program, error) {
 			g.mayCall[i] = true
 			g.usesWin[i] = true
 		} else if g.rng.Float64() < cfg.WindowFrac && !isTail {
+			g.usesWin[i] = true
+		}
+		if cfg.CallHeavy && i+1 < cfg.Routines && !isTail {
+			// Every non-tail routine keeps a frame and may call
+			// deeper.  Applied after the draws above so the
+			// CallHeavy=false draw sequence is unchanged.
+			g.mayCall[i] = true
 			g.usesWin[i] = true
 		}
 		// Second entry points skip prologue code, so they are
@@ -304,7 +316,11 @@ func (g *gen) emitRoutine(idx int) {
 			// it directly, skipping the code above.
 			g.l("r%d_entry2:", idx)
 		}
-		switch g.rng.Intn(9) {
+		kind := g.rng.Intn(9)
+		if g.cfg.CallHeavy && (kind == 0 || kind == 6) {
+			kind = 7 // bias bodies toward calls, same draw count
+		}
+		switch kind {
 		case 0, 1, 2:
 			g.arith()
 		case 3:

@@ -181,6 +181,16 @@ func (c *CPU) InvalidateText() {
 		}
 	}
 	c.tc.blocks = c.tc.blocks[:0]
+	if c.rt != nil {
+		// Stale routine programs must not be re-entered; in-flight
+		// jobs are discarded at install by the generation check, and
+		// content-keyed cache entries stay valid for unchanged text.
+		c.rt.heads = make(map[uint32]rhead)
+		c.rt.candidates = make(map[uint32]bool)
+		c.rt.enters = make(map[uint32]uint64)
+		c.rt.pending = make(map[uint32]bool)
+	}
+	c.textHashOK = false // text content changed; re-hash on demand
 	telemetry.ActiveTracer().Instant("sim.jit.invalidate", "sim")
 }
 
@@ -198,11 +208,7 @@ func (c *CPU) TranslationStats() (builds, flushes uint64) {
 // victim table and promoted back — rather than rebuilt — when their
 // anchor comes around again.
 func (c *CPU) block(pc uint32) *tblock {
-	if c.tc == nil {
-		c.tc = &transCache{}
-		// Self-modifying edits must evict stale translations.
-		c.Mem.WatchWrites(c.TextStart, c.TextEnd, func(addr, n uint32) { c.InvalidateText() })
-	}
+	c.ensureTC()
 	i := tcIndex(pc)
 	if b := c.tc.entries[i]; b != nil && b.pc == pc {
 		return b
@@ -280,6 +286,13 @@ func (c *CPU) buildBlock(pc uint32) *tblock {
 			break
 		}
 		b.insts = append(b.insts, compiledInst{inst: inst, prog: prog, pc: addr})
+		if c.rtOn && inst.Category() == machine.CatCallDirect {
+			// Static call targets are the routine tier's promotion
+			// candidates.
+			if t, ok := inst.StaticTarget(addr); ok {
+				c.rtNoteCandidate(t)
+			}
+		}
 		if slotsLeft > 0 {
 			slotsLeft--
 		} else if uncondTransfer(inst) {
@@ -381,6 +394,13 @@ func (c *CPU) execLinear(b *tblock, maxSteps uint64, gen uint64) (last int, stop
 			return last, true, nil // outer loop raises ErrStepLimit at this pc
 		}
 		i := int(off >> 2)
+		if i <= last && c.rtOn && c.rt.mb.has.Load() {
+			// An in-block backward branch closed a loop iteration and a
+			// finished routine compile is waiting: bounce to the
+			// dispatcher so it installs between steps.  Straight-line
+			// execution (i == last+1) never pays the atomic load.
+			return last, true, nil
+		}
 		if fast != nil && fast[i] != nil {
 			if b.lean[i] {
 				// Hot tier, no control effects: direct write commits
@@ -529,6 +549,11 @@ func (c *CPU) execTrace(b *tblock, maxSteps uint64, gen uint64) (last int, stop 
 			continue
 		}
 		if c.PC == b.pc {
+			if c.rtOn && c.rt.mb.has.Load() {
+				// Loop closed with a finished routine compile waiting:
+				// hand back to the dispatcher to install between steps.
+				return last, true, nil
+			}
 			i = 0 // loop closed back to the trace head
 			continue
 		}

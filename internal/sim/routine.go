@@ -1,0 +1,470 @@
+// The routine tier: the emulator's third execution engine.  When a
+// chained block stays hot and its anchor is a known routine entry
+// (a static call target, the initial pc, or a pc the tier itself
+// exited to), the routine's whole extent is compiled by
+// rtl.CompileRoutine — CFG and liveness from the paper's analyses
+// feeding code generation — into a flat block program in which the
+// register file and condition codes live in an rtl.REnv across block
+// boundaries, spilled back to the CPU only at routine exits, faults,
+// traps, and deopt points.
+//
+// Compilation runs on a background goroutine so the running engine
+// never stalls: the chained tier keeps executing, finished programs
+// land in a mailbox, and the dispatcher installs them between blocks
+// (never mid-step).  Installed programs are validated against the
+// write-watch generation counter; a self-modifying store inside a
+// routine deopts back to the chained tier with exact architected
+// state (the store retires, nothing after it runs).
+//
+// Programs are content-addressed — keyed by (entry, length,
+// fnv64a(text)) in a process-wide cache — so every CPU executing the
+// same routine shares one compilation, and a Reset onto the same
+// image re-installs instead of re-compiling.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eel/internal/cfg"
+	"eel/internal/dataflow"
+	"eel/internal/machine"
+	"eel/internal/rtl"
+	"eel/internal/spawn"
+)
+
+const (
+	// rtDefaultHotThreshold is the block-enter count that promotes a
+	// candidate routine entry to background compilation.
+	rtDefaultHotThreshold = 32
+	// rtMaxExtent bounds the forward extent scan, in instructions.
+	rtMaxExtent = 2048
+	// rtMaxCandidates bounds the discovered-entry set.
+	rtMaxCandidates = 1024
+	// rtQueueDepth is the background compile queue capacity; requests
+	// beyond it are dropped (the entry stays a candidate and can be
+	// re-requested after an invalidation).
+	rtQueueDepth = 64
+)
+
+// rhead is one enterable pc of an installed routine program.
+type rhead struct {
+	prog *rtl.RoutineProg
+	idx  int32
+}
+
+// rtMailbox receives finished compilations from the background
+// worker.  has is the engine's cheap "anything to install?" probe,
+// checked at block transitions.
+type rtMailbox struct {
+	mu   sync.Mutex
+	jobs []*rtJob
+	has  atomic.Bool
+}
+
+func (mb *rtMailbox) deliver(job *rtJob) {
+	mb.mu.Lock()
+	mb.jobs = append(mb.jobs, job)
+	mb.mu.Unlock()
+	mb.has.Store(true)
+}
+
+// rtJob is one compile request: a private copy of the routine's text
+// (the worker must not race engine-side memory writes) plus the
+// generation it was snapshotted under.
+type rtJob struct {
+	dec      *spawn.TableDecoder
+	text     []byte
+	textAddr uint32
+	entry    uint32
+	gen      uint64
+	key      rtCacheKey
+	mb       *rtMailbox
+	prog     *rtl.RoutineProg // result; nil = not compilable
+}
+
+// rtCacheKey content-addresses a routine compilation by the image's
+// whole-text hash plus the entry pc.  Keying on the whole text (hashed
+// once per image, see rtTextHash) instead of the routine's own bytes
+// lets a repeat run of the same image skip the extent scan entirely —
+// the scan decodes up to rtMaxExtent instructions and dominated
+// promotion cost before results were reusable.
+type rtCacheKey struct {
+	textStart, textEnd uint32
+	hash               uint64
+	entry              uint32
+}
+
+type rtCacheEnt struct{ prog *rtl.RoutineProg }
+
+// rtProgCache shares compiled routine programs (including negative
+// results) process-wide; programs are immutable after compilation.
+var rtProgCache sync.Map // rtCacheKey -> *rtCacheEnt
+
+// routineState is the per-CPU routine-tier state.
+type routineState struct {
+	// heads indexes every enterable block base of every installed
+	// routine program.
+	heads map[uint32]rhead
+	// candidates are pcs believed to be routine entries: static call
+	// targets seen during block translation, the run's initial pc,
+	// and pcs the routine tier exited to.
+	candidates map[uint32]bool
+	// enters counts dispatcher arrivals at candidate entries, so a hot
+	// candidate promotes straight from the dispatcher without first
+	// paying a superblock translation it would immediately abandon.
+	enters map[uint32]uint64
+	// pending marks entries with an in-flight compile request.
+	pending map[uint32]bool
+	mb      *rtMailbox
+
+	compiled   uint64 // routine programs installed
+	promotions uint64 // compile requests issued
+	deopts     uint64 // StopGen exits back to the chained tier
+}
+
+// ensureTC lazily creates the translation cache and its write watch;
+// extracted from block() so the routine tier can pin the generation
+// counter's address before the first block is built.
+func (c *CPU) ensureTC() {
+	if c.tc == nil {
+		c.tc = &transCache{}
+		// Self-modifying edits must evict stale translations.
+		c.Mem.WatchWrites(c.TextStart, c.TextEnd, func(addr, n uint32) { c.InvalidateText() })
+	}
+}
+
+func (c *CPU) ensureRT() {
+	c.ensureTC()
+	if c.rt == nil {
+		c.rt = &routineState{
+			heads:      make(map[uint32]rhead),
+			candidates: make(map[uint32]bool),
+			enters:     make(map[uint32]uint64),
+			pending:    make(map[uint32]bool),
+			mb:         &rtMailbox{},
+		}
+	}
+}
+
+func (c *CPU) rtThreshold() uint64 {
+	if c.RoutineHotThreshold != 0 {
+		return c.RoutineHotThreshold
+	}
+	return rtDefaultHotThreshold
+}
+
+// rtNoteCandidate records pc as a believed routine entry.
+func (c *CPU) rtNoteCandidate(pc uint32) {
+	if pc&3 != 0 || pc < c.TextStart || pc >= c.TextEnd {
+		return
+	}
+	if len(c.rt.candidates) < rtMaxCandidates {
+		c.rt.candidates[pc] = true
+	}
+}
+
+// fnv64a is the FNV-1a content hash used by the routine cache key.
+func fnv64a(p []byte) uint64 { return fnvAdd(0xcbf29ce484222325, p) }
+
+func fnvAdd(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return h
+}
+
+// rtTextHash returns the content hash of [TextStart,TextEnd),
+// computed page-at-a-time and cached on the CPU.  The cached value is
+// dropped by InvalidateText, and the write watch (installed by
+// ensureTC before any routine request) reports every text write, so
+// the hash cannot go stale unnoticed.
+func (c *CPU) rtTextHash() uint64 {
+	if c.textHashOK {
+		return c.textHash
+	}
+	h := uint64(0xcbf29ce484222325)
+	for a := c.TextStart; a < c.TextEnd; {
+		base := a &^ (pageSize - 1)
+		end := base + pageSize
+		if end > c.TextEnd || end < base { // clamp; guard address wrap
+			end = c.TextEnd
+		}
+		if p := c.Mem.page(a, false); p != nil {
+			h = fnvAdd(h, p[a-base:end-base])
+		} else {
+			for i := a; i < end; i++ { // unmapped reads as zero
+				h = (h ^ 0) * 0x100000001b3
+			}
+		}
+		a = end
+	}
+	c.textHash, c.textHashOK = h, true
+	return h
+}
+
+// rtExtent scans forward from entry for the routine's textual extent:
+// the smallest contiguous range that contains every forward branch
+// target and ends just past an unconditional transfer (and its delay
+// slot).  Calls do not end the extent — control returns after them.
+func (c *CPU) rtExtent(entry uint32) (end uint32, ok bool) {
+	maxTarget := entry
+	for pc := entry; pc < c.TextEnd && (pc-entry)>>2 < rtMaxExtent; pc += 4 {
+		inst := c.dec.Decode(c.Mem.Read32(pc))
+		if !inst.Valid() {
+			if pc > maxTarget {
+				return pc, true // ran into data past every pending target
+			}
+			return 0, false
+		}
+		if t, tok := inst.StaticTarget(pc); tok && inst.Category() != machine.CatCallDirect {
+			if t > maxTarget && t < c.TextEnd {
+				maxTarget = t
+			}
+		}
+		if uncondTransfer(inst) &&
+			inst.Category() != machine.CatCallDirect &&
+			inst.Category() != machine.CatCallIndirect &&
+			pc >= maxTarget {
+			end = pc + 8 // transfer + delay slot
+			if end > c.TextEnd {
+				end = c.TextEnd
+			}
+			return end, true
+		}
+	}
+	return 0, false
+}
+
+// rtCompileJob resolves a job through the shared program cache,
+// compiling on a miss.  Negative results are cached too.
+func rtCompileJob(job *rtJob) *rtl.RoutineProg {
+	if ent, ok := rtProgCache.Load(job.key); ok {
+		return ent.(*rtCacheEnt).prog
+	}
+	prog := rtCompileText(job.dec, job.text, job.textAddr, job.entry)
+	rtProgCache.Store(job.key, &rtCacheEnt{prog})
+	return prog
+}
+
+func rtCompileText(dec *spawn.TableDecoder, text []byte, textAddr, entry uint32) *rtl.RoutineProg {
+	end := textAddr + uint32(len(text))
+	g, err := cfg.Build(dec, text, textAddr, textAddr, end, []uint32{entry})
+	if err != nil {
+		return nil
+	}
+	lv := dataflow.ComputeLiveness(g, dataflow.DefaultExitLive())
+	rp, err := rtl.CompileRoutine(g, lv, entry)
+	if err != nil {
+		return nil
+	}
+	return rp
+}
+
+// The background compiler: one process-wide worker goroutine and a
+// bounded queue.  Jobs carry their own text copy and mailbox, so one
+// worker serves every CPU.
+var (
+	rtWorkerOnce sync.Once
+	rtWorkQueue  chan *rtJob
+)
+
+func rtWorkerStart() {
+	rtWorkQueue = make(chan *rtJob, rtQueueDepth)
+	go func() {
+		for job := range rtWorkQueue {
+			job.prog = rtCompileJob(job)
+			job.mb.deliver(job)
+		}
+	}()
+}
+
+// rtQueueDepthNow reports the background queue's current depth for
+// the telemetry gauge.
+func rtQueueDepthNow() int { return len(rtWorkQueue) }
+
+// rtRequest issues a compile request for the routine entered at
+// entry.  Synchronous mode (tests, fuzzing) compiles and installs
+// inline; otherwise the job goes to the background worker and the
+// engine keeps running chained code until the mailbox delivers.
+func (c *CPU) rtRequest(entry uint32) {
+	if c.rt.pending[entry] {
+		return
+	}
+	c.rt.promotions++
+	key := rtCacheKey{textStart: c.TextStart, textEnd: c.TextEnd, hash: c.rtTextHash(), entry: entry}
+	if ent, ok := rtProgCache.Load(key); ok {
+		// Same image, same entry: install the shared program (or the
+		// cached negative result) without scanning or compiling.
+		c.rtInstall(&rtJob{entry: entry, gen: c.tc.gen, prog: ent.(*rtCacheEnt).prog})
+		return
+	}
+	end, ok := c.rtExtent(entry)
+	if !ok || end <= entry {
+		rtProgCache.Store(key, &rtCacheEnt{}) // negative: no routine extent here
+		delete(c.rt.candidates, entry)
+		return
+	}
+	text := make([]byte, end-entry)
+	for i := range text {
+		text[i] = c.Mem.ByteAt(entry + uint32(i))
+	}
+	job := &rtJob{
+		dec:      c.dec,
+		text:     text,
+		textAddr: entry,
+		entry:    entry,
+		gen:      c.tc.gen,
+		key:      key,
+		mb:       c.rt.mb,
+	}
+	c.rt.pending[entry] = true
+	if c.RoutineSync {
+		job.prog = rtCompileJob(job)
+		c.rtInstall(job)
+		return
+	}
+	rtWorkerOnce.Do(rtWorkerStart)
+	select {
+	case rtWorkQueue <- job:
+	default:
+		delete(c.rt.pending, entry) // queue full: drop, keep candidacy
+	}
+}
+
+// rtDrain installs every finished compilation waiting in the
+// mailbox.  Called only between blocks, so promotion never interrupts
+// a step.
+func (c *CPU) rtDrain() {
+	if !c.rt.mb.has.Load() {
+		return
+	}
+	c.rt.mb.mu.Lock()
+	jobs := c.rt.mb.jobs
+	c.rt.mb.jobs = nil
+	c.rt.mb.has.Store(false)
+	c.rt.mb.mu.Unlock()
+	for _, job := range jobs {
+		c.rtInstall(job)
+	}
+}
+
+func (c *CPU) rtInstall(job *rtJob) {
+	delete(c.rt.pending, job.entry)
+	if job.prog == nil {
+		delete(c.rt.candidates, job.entry) // not compilable; stop asking
+		return
+	}
+	if job.gen != c.tc.gen {
+		return // text changed since the snapshot; a rebuilt hot block re-requests
+	}
+	for pc, k := range job.prog.Index {
+		c.rt.heads[pc] = rhead{prog: job.prog, idx: k}
+	}
+	c.rt.compiled++
+}
+
+// rtFill loads the routine environment from architected state.
+func (c *CPU) rtFill(e *rtl.REnv) {
+	e.R = c.R
+	e.Y, e.PSR, e.FSR = c.Y, c.PSR, c.FSR
+	e.F = c.F
+	e.PC, e.NPC = c.PC, c.NPC
+	e.Insts, e.Annuls = c.InstCount, c.AnnulCount
+	e.Windows = c.windows
+	e.Halted, e.ExitCode = c.Halted, c.ExitCode
+	e.ResetCC()
+	e.StopKind, e.StopErr, e.StopPC = rtl.StopNone, nil, 0
+	e.Bridge = &c.env
+	e.Gen = c.tc.gen
+	e.GenP = &c.tc.gen
+}
+
+// rtSpill writes the routine environment back, materializing any
+// pending condition codes first — the only place lazy flags become
+// architected PSR.
+func (c *CPU) rtSpill(e *rtl.REnv) {
+	e.FlushCC()
+	c.R = e.R
+	c.Y, c.PSR, c.FSR = e.Y, e.PSR, e.FSR
+	c.F = e.F
+	c.PC, c.NPC = e.PC, e.NPC
+	c.InstCount, c.AnnulCount = e.Insts, e.Annuls
+	c.windows = e.Windows
+	c.Halted, c.ExitCode = e.Halted, e.ExitCode
+}
+
+// runRoutine executes installed routine programs starting at rh until
+// control leaves compiled routines, execution must stop, or the step
+// budget cannot cover the next block.  It reports whether any
+// instruction was executed: a budget refusal before the first block
+// returns (false, nil) so the caller falls back to a per-instruction
+// tier that can hit the limit exactly.
+func (c *CPU) runRoutine(rh rhead, maxSteps uint64) (executed bool, err error) {
+	e := &c.renv
+	c.rtFill(e)
+	p, k := rh.prog, rh.idx
+	for {
+		blk := &p.Blocks[k]
+		if e.Insts+blk.Cost > maxSteps {
+			// At a block head the pipeline is sequential, so the
+			// architected pc is exactly the head address.  In-program
+			// terminators return a block index without touching e.PC,
+			// so it must be refreshed before spilling.
+			e.PC, e.NPC = blk.Base, blk.Base+4
+			c.rtSpill(e)
+			return executed, nil
+		}
+		executed = true
+		for i := range blk.Ops {
+			if blk.Ops[i](e) {
+				pc := blk.Base + uint32(4*i)
+				switch e.StopKind {
+				case rtl.StopHalt:
+					e.Insts += uint64(i) + 1
+					e.PC, e.NPC = pc, pc+4
+					c.rtSpill(e)
+					return true, nil
+				case rtl.StopGen:
+					e.Insts += uint64(i) + 1
+					e.PC, e.NPC = pc+4, pc+8
+					c.rt.deopts++
+					c.rtSpill(e)
+					return true, nil
+				default: // StopFault
+					e.Insts += uint64(i)
+					e.PC, e.NPC = pc, pc+4
+					c.rtSpill(e)
+					return true, &Fault{pc, e.StopErr}
+				}
+			}
+		}
+		e.Insts += uint64(len(blk.Ops))
+		next := blk.Term(e)
+		if next >= 0 {
+			k = next
+			continue
+		}
+		if next == rtl.RTermExit {
+			// Cross-routine continuation: an exit landing on another
+			// installed head (call, tail call, return) stays in the
+			// tier with zero spill traffic.
+			if nh, ok := c.rt.heads[e.PC]; ok && e.NPC == e.PC+4 {
+				p, k = nh.prog, nh.idx
+				continue
+			}
+			c.rtNoteCandidate(e.PC)
+			c.rtSpill(e)
+			return true, nil
+		}
+		// RTermStop: the terminator finalized everything.
+		if e.StopKind == rtl.StopGen {
+			c.rt.deopts++
+		}
+		c.rtSpill(e)
+		if e.StopKind == rtl.StopFault {
+			return true, &Fault{e.StopPC, e.StopErr}
+		}
+		return true, nil
+	}
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"eel/internal/binfile"
+	"eel/internal/progen"
+)
+
+// runRoutineMode executes f to completion under the routine tier
+// (synchronous compilation, immediate promotion) and returns the
+// final CPU and its output.
+func runRoutineMode(t *testing.T, f *binfile.File) (*CPU, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	cpu := LoadFile(f, &out)
+	cpu.EnableRoutines = true
+	cpu.RoutineSync = true
+	cpu.RoutineHotThreshold = 1
+	if err := cpu.Run(500_000_000); err != nil {
+		t.Fatalf("routine run: %v", err)
+	}
+	if !cpu.Halted {
+		t.Fatal("program did not halt (routine)")
+	}
+	return cpu, out.Bytes()
+}
+
+// TestRoutineMatchesInterpreter is the routine tier's differential
+// test: every progen workload flavour runs under the single-step
+// interpreter and under the routine tier, and the architected results
+// must be bit-identical.
+func TestRoutineMatchesInterpreter(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  progen.Config
+	}{
+		{"gcc-default", progen.DefaultConfig(1)},
+		{"gcc-seed7", progen.DefaultConfig(7)},
+		{"gcc-large", func() progen.Config {
+			c := progen.DefaultConfig(2012)
+			c.Routines = 60
+			return c
+		}()},
+		{"sunpro", func() progen.Config {
+			c := progen.DefaultConfig(11)
+			c.Personality = progen.SunPro
+			return c
+		}()},
+		{"memheavy", func() progen.Config {
+			c := progen.DefaultConfig(1011)
+			c.MemHeavy = true
+			return c
+		}()},
+		{"callheavy", func() progen.Config {
+			c := progen.DefaultConfig(4021)
+			c.CallHeavy = true
+			return c
+		}()},
+		{"kitchen-sink", func() progen.Config {
+			c := progen.DefaultConfig(99)
+			c.Personality = progen.SunPro
+			c.DataTables = true
+			c.MultiEntry = true
+			c.DebugLabels = true
+			c.HiddenFrac = 0.2
+			return c
+		}()},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := progen.Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interp, interpOut := runMode(t, p.File, true, false)
+			rt, rtOut := runRoutineMode(t, p.File)
+
+			if interp.ExitCode != rt.ExitCode {
+				t.Errorf("exit code: interp %d, got %d", interp.ExitCode, rt.ExitCode)
+			}
+			if !bytes.Equal(interpOut, rtOut) {
+				t.Errorf("output diverged: interp %d bytes, got %d bytes", len(interpOut), len(rtOut))
+			}
+			if interp.InstCount != rt.InstCount {
+				t.Errorf("InstCount: interp %d, got %d", interp.InstCount, rt.InstCount)
+			}
+			if interp.AnnulCount != rt.AnnulCount {
+				t.Errorf("AnnulCount: interp %d, got %d", interp.AnnulCount, rt.AnnulCount)
+			}
+			if interp.R != rt.R {
+				t.Errorf("integer registers diverged:\ninterp %v\ngot    %v", interp.R, rt.R)
+			}
+			if interp.F != rt.F {
+				t.Error("float registers diverged")
+			}
+			if interp.Y != rt.Y || interp.PSR != rt.PSR || interp.FSR != rt.FSR {
+				t.Errorf("special registers diverged: Y %x/%x PSR %x/%x FSR %x/%x",
+					interp.Y, rt.Y, interp.PSR, rt.PSR, interp.FSR, rt.FSR)
+			}
+			if len(interp.windows) != len(rt.windows) {
+				t.Errorf("window depth: interp %d, got %d", len(interp.windows), len(rt.windows))
+			}
+			if addr, ok := interp.Mem.Diff(rt.Mem); !ok {
+				t.Errorf("memory diverged at %#x: interp %#x, got %#x",
+					addr, interp.Mem.ByteAt(addr), rt.Mem.ByteAt(addr))
+			}
+			k := rt.Counters()
+			if k.RoutinesCompiled == 0 {
+				t.Error("no routines compiled; routine tier not exercised")
+			}
+			if k.TierPromotions == 0 {
+				t.Error("no tier promotions recorded")
+			}
+		})
+	}
+}
+
+// TestRoutineSelfModifyingDeopt pins the deopt invariant: a store
+// into watched text from inside a routine program retires, bumps the
+// generation, and falls back to the lower tiers with exact state.
+func TestRoutineSelfModifyingDeopt(t *testing.T) {
+	src := `
+	sethi %hi(0x10018), %o3
+	or %o3, %lo(0x10018), %o3
+	ld [%o3], %o4
+	st %o4, [%o3]
+	mov 33, %o0
+	mov 1, %g1
+	ta 0
+	retl
+	nop
+`
+	ref, refProg := load(t, src, 0x10000)
+	ref.TextStart, ref.TextEnd = refProg.Base, refProg.Base+uint32(len(refProg.Bytes))
+	ref.NoJIT = true
+	run(t, ref)
+
+	cpu, prog := load(t, src, 0x10000)
+	cpu.TextStart, cpu.TextEnd = prog.Base, prog.Base+uint32(len(prog.Bytes))
+	cpu.EnableRoutines = true
+	cpu.RoutineSync = true
+	cpu.RoutineHotThreshold = 1
+	run(t, cpu)
+
+	if cpu.ExitCode != 33 || cpu.ExitCode != ref.ExitCode {
+		t.Errorf("exit = %d (interp %d), want 33", cpu.ExitCode, ref.ExitCode)
+	}
+	if cpu.InstCount != ref.InstCount {
+		t.Errorf("InstCount = %d, interp %d", cpu.InstCount, ref.InstCount)
+	}
+	k := cpu.Counters()
+	if k.RoutinesCompiled == 0 {
+		t.Fatal("routine never compiled; deopt path not exercised")
+	}
+	if k.RoutineDeopts == 0 {
+		t.Error("self-modifying store did not count a routine deopt")
+	}
+	if len(cpu.rt.heads) != 0 {
+		t.Error("stale routine heads survived text invalidation")
+	}
+}
+
+// TestRoutineStepLimitParity: for every step budget, the routine tier
+// stops with the identical fault, pc, and instruction count as the
+// interpreter — the budget refusal must hand over to a tier that can
+// hit the limit exactly.
+func TestRoutineStepLimitParity(t *testing.T) {
+	src := `
+	mov 0, %o0
+	mov 5, %o1
+loop:	add %o0, %o1, %o0
+	subcc %o1, 1, %o1
+	bne loop
+	nop
+	mov 1, %g1
+	ta 0
+	retl
+	nop
+`
+	for limit := uint64(1); limit <= 26; limit++ {
+		ref, refProg := load(t, src, 0x10000)
+		ref.TextStart, ref.TextEnd = refProg.Base, refProg.Base+uint32(len(refProg.Bytes))
+		ref.NoJIT = true
+		refErr := ref.Run(limit)
+
+		cpu, prog := load(t, src, 0x10000)
+		cpu.TextStart, cpu.TextEnd = prog.Base, prog.Base+uint32(len(prog.Bytes))
+		cpu.EnableRoutines = true
+		cpu.RoutineSync = true
+		cpu.RoutineHotThreshold = 1
+		rtErr := cpu.Run(limit)
+
+		if (refErr == nil) != (rtErr == nil) {
+			t.Fatalf("limit %d: err: interp %v, routine %v", limit, refErr, rtErr)
+		}
+		if refErr != nil {
+			if !errors.Is(rtErr, ErrStepLimit) {
+				t.Fatalf("limit %d: routine err = %v, want step limit", limit, rtErr)
+			}
+			if refErr.Error() != rtErr.Error() {
+				t.Fatalf("limit %d: err: interp %q, routine %q", limit, refErr, rtErr)
+			}
+		}
+		if ref.InstCount != cpu.InstCount || ref.PC != cpu.PC || ref.NPC != cpu.NPC {
+			t.Fatalf("limit %d: state: interp insts=%d pc=%#x npc=%#x, routine insts=%d pc=%#x npc=%#x",
+				limit, ref.InstCount, ref.PC, ref.NPC, cpu.InstCount, cpu.PC, cpu.NPC)
+		}
+		if ref.R != cpu.R {
+			t.Fatalf("limit %d: registers diverged", limit)
+		}
+	}
+}
+
+// TestRoutineAsyncPromotion pins the no-stall property: with the
+// background compiler (no RoutineSync), a long-running loop is
+// promoted mid-run — between steps — and the architected results stay
+// exact.  The worker touches only job-private data, so this test is
+// meaningful under -race.
+func TestRoutineAsyncPromotion(t *testing.T) {
+	const n = 2_000_000
+	src := `
+	sethi %hi(2000000), %o1
+	or %o1, %lo(2000000), %o1
+loop:	subcc %o1, 1, %o1
+	bne loop
+	nop
+	mov 7, %o0
+	mov 1, %g1
+	ta 0
+	retl
+	nop
+`
+	cpu, prog := load(t, src, 0x10000)
+	cpu.TextStart, cpu.TextEnd = prog.Base, prog.Base+uint32(len(prog.Bytes))
+	cpu.EnableRoutines = true
+	cpu.RoutineHotThreshold = 1
+	if err := cpu.Run(20_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !cpu.Halted {
+		t.Fatal("program did not halt")
+	}
+
+	if cpu.ExitCode != 7 {
+		t.Errorf("exit = %d, want 7", cpu.ExitCode)
+	}
+	// 2 setup + 3 per iteration + mov + mov + ta.
+	if want := uint64(2 + 3*n + 3); cpu.InstCount != want {
+		t.Errorf("InstCount = %d, want %d", cpu.InstCount, want)
+	}
+	k := cpu.Counters()
+	if k.TierPromotions == 0 {
+		t.Error("no promotion requested for the hot loop")
+	}
+	if k.RoutinesCompiled == 0 {
+		t.Error("background compile did not install before the loop finished")
+	}
+}
+
+// TestRoutineCountersAndReset: tier counters accumulate and reset
+// like the chaining counters.
+func TestRoutineCountersAndReset(t *testing.T) {
+	p, err := progen.Generate(progen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := runRoutineMode(t, p.File)
+	k := cpu.Counters()
+	if k.RoutinesCompiled == 0 || k.TierPromotions == 0 {
+		t.Fatalf("counters not engaged: %+v", k)
+	}
+	cpu.ResetCounters()
+	k = cpu.Counters()
+	if k.RoutinesCompiled != 0 || k.TierPromotions != 0 || k.RoutineDeopts != 0 {
+		t.Errorf("counters survived reset: %+v", k)
+	}
+}

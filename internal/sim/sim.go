@@ -164,11 +164,10 @@ func (m *Memory) LoadSegment(addr uint32, data []byte) {
 	}
 }
 
-// window is one SPARC register window's saved locals and ins.
-type window struct {
-	locals [8]uint32
-	ins    [8]uint32
-}
+// window is one SPARC register window's saved locals and ins.  It
+// aliases the routine tier's representation so the window stack moves
+// between engines as a slice header, never element-copied.
+type window = rtl.RWindow
 
 // CPU is one SPARC V8 processor.
 type CPU struct {
@@ -217,6 +216,21 @@ type CPU struct {
 	// benchmarking the dispatch overhead and for bisecting engines.
 	NoChain bool
 
+	// EnableRoutines turns on the routine tier on top of the chained
+	// engine: hot routine entries are compiled whole (CFG + liveness
+	// feeding rtl.CompileRoutine) on a background goroutine and run
+	// with registers and flags resident across block boundaries.
+	// Ignored under NoJIT/NoChain, while OnExec observes execution,
+	// or while profiling (those paths need per-step visibility).
+	EnableRoutines bool
+	// RoutineSync compiles routine programs inline on the engine
+	// thread instead of the background worker — deterministic
+	// promotion for tests and fuzzing.
+	RoutineSync bool
+	// RoutineHotThreshold overrides the block-enter count that
+	// triggers routine compilation; 0 means the default.
+	RoutineHotThreshold uint64
+
 	dec       *spawn.TableDecoder
 	windows   []window
 	annulNext bool
@@ -242,6 +256,18 @@ type CPU struct {
 
 	// tc is the translation-cache engine state (see jit.go).
 	tc *transCache
+
+	// rt is the routine-tier state (see routine.go); rtOn caches the
+	// per-run gate, and renv is the reusable routine environment.
+	// textHash content-addresses [TextStart,TextEnd) for the shared
+	// routine-program cache; it is computed lazily at the first
+	// routine request (after the write watch exists, so it can never
+	// go stale unnoticed) and dropped on text invalidation.
+	rt         *routineState
+	rtOn       bool
+	renv       rtl.REnv
+	textHash   uint64
+	textHashOK bool
 
 	// prof, when non-nil, accumulates per-pc hotness and branch/trap
 	// counters (see profile.go); both engines feed it.
@@ -378,6 +404,10 @@ type Counters struct {
 
 	Traces        uint64 // traces built from hot block heads
 	TracesRetired uint64 // traces discarded by text invalidation
+
+	RoutinesCompiled uint64 // routine programs installed by the routine tier
+	TierPromotions   uint64 // routine compile requests issued by heat
+	RoutineDeopts    uint64 // routine-tier deopts back to chained (self-modifying code)
 }
 
 // Counters returns the current counter snapshot.
@@ -389,6 +419,11 @@ func (c *CPU) Counters() Counters {
 		k.ICHits, k.ICMisses = c.tc.icHits, c.tc.icMisses
 		k.VictimHits = c.tc.victimHits
 		k.Traces, k.TracesRetired = c.tc.traces, c.tc.tracesRetired
+	}
+	if c.rt != nil {
+		k.RoutinesCompiled = c.rt.compiled
+		k.TierPromotions = c.rt.promotions
+		k.RoutineDeopts = c.rt.deopts
 	}
 	return k
 }
@@ -406,6 +441,9 @@ func (c *CPU) ResetCounters() {
 		c.tc.icHits, c.tc.icMisses = 0, 0
 		c.tc.victimHits = 0
 		c.tc.traces, c.tc.tracesRetired = 0, 0
+	}
+	if c.rt != nil {
+		c.rt.compiled, c.rt.promotions, c.rt.deopts = 0, 0, 0
 	}
 }
 
@@ -445,6 +483,9 @@ func (c *CPU) Run(maxSteps uint64) error {
 			Traces:      after.Traces - before.Traces,
 			TracesRetired: after.TracesRetired -
 				before.TracesRetired,
+			RoutinesCompiled: after.RoutinesCompiled - before.RoutinesCompiled,
+			TierPromotions:   after.TierPromotions - before.TierPromotions,
+			RoutineDeopts:    after.RoutineDeopts - before.RoutineDeopts,
 		}
 		span.Arg("insts", d.Insts)
 		span.Arg("jit_builds", d.Builds)
@@ -464,6 +505,10 @@ func (c *CPU) Run(maxSteps uint64) error {
 			reg.Counter("sim.jit.victim_hits").Add(d.VictimHits)
 			reg.Counter("sim.jit.traces").Add(d.Traces)
 			reg.Counter("sim.jit.traces_retired").Add(d.TracesRetired)
+			reg.Counter("sim.jit.routines_compiled").Add(d.RoutinesCompiled)
+			reg.Counter("sim.jit.tier_promotions").Add(d.TierPromotions)
+			reg.Counter("sim.jit.routine_deopts").Add(d.RoutineDeopts)
+			reg.Gauge("sim.jit.routine_queue").Set(int64(rtQueueDepthNow()))
 		}
 	}
 	span.End()
@@ -473,6 +518,11 @@ func (c *CPU) Run(maxSteps uint64) error {
 // run is Run's engine loop, free of telemetry bookkeeping.
 func (c *CPU) run(maxSteps uint64) error {
 	useJIT := !c.NoJIT && c.TextEnd > c.TextStart
+	c.rtOn = useJIT && !c.NoChain && c.EnableRoutines && c.prof == nil
+	if c.rtOn {
+		c.ensureRT()
+		c.rtNoteCandidate(c.PC) // the run's entry is a routine entry
+	}
 	for !c.Halted {
 		if c.InstCount >= maxSteps {
 			return &Fault{c.PC, ErrStepLimit}
@@ -482,6 +532,32 @@ func (c *CPU) run(maxSteps uint64) error {
 				return err
 			}
 			continue
+		}
+		if c.rtOn {
+			c.rtDrain() // install background results between steps
+			if c.NPC == c.PC+4 && c.rt.candidates[c.PC] {
+				if _, in := c.rt.heads[c.PC]; !in {
+					// A candidate entry arriving at the dispatcher heats
+					// up here, so promotion needs no throwaway
+					// superblock translation first.  (>= because an
+					// async request can be dropped on a full queue.)
+					c.rt.enters[c.PC]++
+					if c.rt.enters[c.PC] >= c.rtThreshold() {
+						c.rtRequest(c.PC)
+					}
+				}
+			}
+			if rh, ok := c.rt.heads[c.PC]; ok && c.NPC == c.PC+4 {
+				executed, err := c.runRoutine(rh, maxSteps)
+				if err != nil {
+					return err
+				}
+				if executed {
+					continue
+				}
+				// Budget refusal before any work: fall through to the
+				// per-instruction tiers, which hit the limit exactly.
+			}
 		}
 		b := c.block(c.PC)
 		if len(b.insts) == 0 {
@@ -524,6 +600,12 @@ func (c *CPU) runChained(b *tblock, maxSteps uint64) error {
 	gen := c.tc.gen
 	for {
 		b.enters++
+		if c.rtOn && b.enters == c.rtThreshold() && c.rt.candidates[b.pc] {
+			c.rtRequest(b.pc)
+			if _, ok := c.rt.heads[b.pc]; ok {
+				return nil // synchronous install: re-enter via the dispatcher
+			}
+		}
 		if !b.trace && b.enters == traceHotThreshold {
 			if t := c.buildTrace(b); t != nil {
 				b = t
@@ -570,6 +652,17 @@ func (c *CPU) runChained(b *tblock, maxSteps uint64) error {
 				return nil
 			}
 			b = nb
+		}
+		if c.rtOn {
+			// Promotion happens between steps: a finished background
+			// compile or a transition onto an installed routine head
+			// hands control to the dispatcher at a block boundary.
+			if c.rt.mb.has.Load() {
+				return nil
+			}
+			if _, ok := c.rt.heads[c.PC]; ok && c.NPC == c.PC+4 {
+				return nil
+			}
 		}
 		if c.prof != nil {
 			c.prof.blockEnters[b.pc]++
@@ -747,6 +840,38 @@ func (e *cpuEnv) Trap(code uint64) error {
 	}
 }
 
+// RTrap is the routine tier's trap bridge: behaviour and error
+// strings identical to Trap, but the syscall registers are read from
+// (and results written to) the routine environment, where the
+// register file lives while a routine program runs.
+func (e *cpuEnv) RTrap(re *rtl.REnv, code uint64) error {
+	if code != 0 {
+		return fmt.Errorf("sim: unhandled trap %d", code)
+	}
+	switch re.R[1] { // %g1
+	case SysExit:
+		re.Halted = true
+		re.ExitCode = re.R[8]
+		return nil
+	case SysWrite:
+		buf := re.R[9]
+		n := re.R[10]
+		if e.c.Stdout != nil {
+			data := make([]byte, n)
+			for i := uint32(0); i < n; i++ {
+				data[i] = e.c.Mem.ByteAt(buf + i)
+			}
+			if _, err := e.c.Stdout.Write(data); err != nil {
+				return fmt.Errorf("sim: write syscall: %w", err)
+			}
+		}
+		re.R[8] = n
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadSyscall, re.R[1])
+	}
+}
+
 // Special implements SPARC register windows.  winsave computes the
 // new stack pointer in the old window, shifts the window (callee's
 // ins are the caller's outs), and writes rd in the new window;
@@ -760,8 +885,8 @@ func (e *cpuEnv) Special(name string, args []uint64) error {
 	switch name {
 	case "winsave":
 		var w window
-		copy(w.locals[:], e.c.R[16:24])
-		copy(w.ins[:], e.c.R[24:32])
+		copy(w.Locals[:], e.c.R[16:24])
+		copy(w.Ins[:], e.c.R[24:32])
 		e.c.windows = append(e.c.windows, w)
 		copy(e.c.R[24:32], e.c.R[8:16]) // new ins = old outs
 		for i := 8; i < 24; i++ {
@@ -772,8 +897,8 @@ func (e *cpuEnv) Special(name string, args []uint64) error {
 		if n := len(e.c.windows); n > 0 {
 			w := e.c.windows[n-1]
 			e.c.windows = e.c.windows[:n-1]
-			copy(e.c.R[16:24], w.locals[:])
-			copy(e.c.R[24:32], w.ins[:])
+			copy(e.c.R[16:24], w.Locals[:])
+			copy(e.c.R[24:32], w.Ins[:])
 		} else {
 			for i := 16; i < 32; i++ {
 				e.c.R[i] = 0

@@ -28,7 +28,7 @@ func (c *CPU) ArchState() string {
 	fmt.Fprintf(&b, "\nhalted=%v exit=%d insts=%d annuls=%d windows=%d\n",
 		c.Halted, c.ExitCode, c.InstCount, c.AnnulCount, len(c.windows))
 	for i, w := range c.windows {
-		fmt.Fprintf(&b, "w%d: locals=%08x ins=%08x\n", i, w.locals, w.ins)
+		fmt.Fprintf(&b, "w%d: locals=%08x ins=%08x\n", i, w.Locals, w.Ins)
 	}
 	return b.String()
 }

@@ -210,6 +210,12 @@ func (s *InstSem) Compiled() (*rtl.Prog, error) {
 	return cs.prog, cs.err
 }
 
+// SemNode exposes the instruction's raw semantic AST.  The routine-
+// tier compiler walks it to recover the exact node a faulting builtin
+// would report, so routine-compiled faults render the same error
+// strings as the interpreter.
+func (s *InstSem) SemNode() rtl.Node { return s.Def.Sem }
+
 // CompiledDirect returns the instruction's semantics lowered in
 // direct-commit mode (rtl.CompileDirect), or nil when the commit
 // reorder cannot be proven unobservable for this word.  The emulator's

@@ -1,0 +1,95 @@
+package toolmain
+
+import (
+	"flag"
+	"fmt"
+
+	"eel/internal/sim"
+)
+
+// Engine is the tools' execution-engine selector: one -engine flag
+// naming an emulator tier, plus the pre-tiering -nojit/-nochain
+// booleans kept as deprecated aliases.  Register it with AddEngine,
+// parse, then Configure each CPU the command runs.
+type Engine struct {
+	fs      *flag.FlagSet
+	name    *string
+	nojit   *bool
+	nochain *bool
+}
+
+// Engine names accepted by -engine, slowest tier first.
+const (
+	EngineInterp     = "interp"
+	EngineTranslated = "translated"
+	EngineChained    = "chained"
+	EngineRoutine    = "routine"
+)
+
+// AddEngine registers -engine and the deprecated aliases on fs.  The
+// default is the routine tier: every tier produces bit-identical
+// architected behaviour, so tools default to the fastest one.
+func AddEngine(fs *flag.FlagSet) *Engine {
+	return &Engine{
+		fs: fs,
+		name: fs.String("engine", EngineRoutine,
+			"execution engine: interp, translated, chained, or routine"),
+		nojit:   fs.Bool("nojit", false, "deprecated: alias for -engine=interp"),
+		nochain: fs.Bool("nochain", false, "deprecated: alias for -engine=translated"),
+	}
+}
+
+// Name resolves the selected engine after parsing.  An explicit
+// -engine wins; otherwise the deprecated aliases select their old
+// behaviour (-nojit the interpreter, -nochain the unchained
+// translation cache).
+func (e *Engine) Name() (string, error) {
+	explicit := false
+	e.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			explicit = true
+		}
+	})
+	name := *e.name
+	if !explicit {
+		switch {
+		case *e.nojit:
+			name = EngineInterp
+		case *e.nochain:
+			name = EngineTranslated
+		}
+	}
+	switch name {
+	case EngineInterp, EngineTranslated, EngineChained, EngineRoutine:
+		return name, nil
+	}
+	return "", fmt.Errorf("unknown engine %q (want interp, translated, chained, or routine)", name)
+}
+
+// Configure applies the selected engine to cpu.  Call it once per CPU
+// before Run.
+func (e *Engine) Configure(cpu *sim.CPU) error {
+	name, err := e.Name()
+	if err != nil {
+		return err
+	}
+	ConfigureEngine(cpu, name)
+	return nil
+}
+
+// ConfigureEngine sets cpu to execute with the named tier.  Unknown
+// names fall through to the chained default; validate with
+// Engine.Name first when the name comes from a flag.  Profiled runs
+// (EnableProfile) execute routine-tier programs as chained: the
+// whole-routine programs don't record per-pc counts, so the emulator
+// keeps them disabled whenever a profile is attached.
+func ConfigureEngine(cpu *sim.CPU, name string) {
+	switch name {
+	case EngineInterp:
+		cpu.NoJIT = true
+	case EngineTranslated:
+		cpu.NoChain = true
+	case EngineRoutine:
+		cpu.EnableRoutines = true
+	}
+}

@@ -10,12 +10,13 @@
 # `go test -bench` output into a JSON array of
 #   {"name": ..., "ns_per_op": ..., "metrics": {unit: value, ...}}
 # records, one per benchmark line.  Then runs BenchmarkSimInterp,
-# BenchmarkSimTranslated, and BenchmarkSimChained over every workload
-# flavour and pipes the output through scripts/benchmerge, which
-# MERGES the run into BENCH_sim.json under today's date — earlier
-# dated runs are kept, not overwritten — recording each engine's
-# instructions/sec, the chained engine's chain/IC hit-rate and trace
-# counters, and the derived speedup ratios.  Finally
+# BenchmarkSimTranslated, BenchmarkSimChained, and BenchmarkSimRoutine
+# over every workload flavour and pipes the output through
+# scripts/benchmerge, which MERGES the run into BENCH_sim.json under
+# today's date — earlier dated runs are kept, not overwritten —
+# recording each engine's instructions/sec, the chained engine's
+# chain/IC hit-rate and trace counters, the routine tier's compile and
+# deopt counters, and the derived speedup ratios.  Finally
 # runs BenchmarkSimTelemetry and BenchmarkSimProfiled against
 # BenchmarkSimTranslated and emits BENCH_telemetry.json with the
 # enabled-telemetry and profiling overheads (ratios ~1.0 mean free).
@@ -51,12 +52,12 @@ END { print "\n]" }
 
 echo "wrote $out"
 
-# --- emulator engines: interpreter vs translation cache vs chained ---
+# --- emulator engines: interp vs translated vs chained vs routine ---
 simout="BENCH_sim.json"
 simraw="$(mktemp)"
 trap 'rm -f "$raw" "$simraw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSim(Interp|Translated|Chained)$' \
+go test -run '^$' -bench 'BenchmarkSim(Interp|Translated|Chained|Routine)$' \
     -benchtime "${BENCHTIME:-5x}" . | tee "$simraw"
 
 go run ./scripts/benchmerge -out "$simout" < "$simraw"

@@ -20,7 +20,8 @@
 //
 // -check compares the parsed results against a checked-in baseline of
 // engine speedup *ratios* (translated vs interp, chained vs
-// translated).  Ratios, unlike ns/op, are stable across machines, so
+// translated, routine vs chained).  Ratios, unlike ns/op, are stable
+// across machines, so
 // the baseline can live in the repository and gate CI: the check
 // fails when a measured ratio falls more than the baseline's
 // tolerance below its recorded value — e.g. SimTranslated regressing
@@ -107,7 +108,8 @@ func main() {
 }
 
 // parse reads `go test -bench` output and collects the SimInterp /
-// SimTranslated / SimChained / SimTelemetry engine lines per flavour.
+// SimTranslated / SimChained / SimRoutine / SimTelemetry engine lines
+// per flavour.
 func parse(r io.Reader) (*runRecord, error) {
 	rec := &runRecord{Flavours: map[string]map[string]engineResult{}}
 	sc := bufio.NewScanner(r)
@@ -146,9 +148,10 @@ func parse(r io.Reader) (*runRecord, error) {
 	return rec, sc.Err()
 }
 
-// speedups derives the two engine ratios per flavour: how much the
-// translation cache buys over the interpreter, and how much chaining
-// plus traces buy over the unchained translation cache.
+// speedups derives the engine ratios per flavour: how much the
+// translation cache buys over the interpreter, how much chaining
+// plus traces buy over the unchained translation cache, and how much
+// whole-routine compilation buys over the chained engine.
 func speedups(flavours map[string]map[string]engineResult) map[string]map[string]float64 {
 	out := map[string]map[string]float64{}
 	for flavour, engines := range flavours {
@@ -158,6 +161,9 @@ func speedups(flavours map[string]map[string]engineResult) map[string]map[string
 		}
 		if t, c := engines["translated"], engines["chained"]; t.InstsPerSec > 0 && c.InstsPerSec > 0 {
 			s["chained_vs_translated"] = round2(c.InstsPerSec / t.InstsPerSec)
+		}
+		if c, r := engines["chained"], engines["routine"]; c.InstsPerSec > 0 && r.InstsPerSec > 0 {
+			s["routine_vs_chained"] = round2(r.InstsPerSec / c.InstsPerSec)
 		}
 		if len(s) > 0 {
 			out[flavour] = s
