@@ -11,24 +11,33 @@
 // SIGINT trigger a graceful drain: admission stops (503), queued and
 // in-flight jobs finish, then the process exits.
 //
+// Observability: every request carries (or is given) an X-Eel-Trace
+// ID, spans cover queue wait/handler/pipeline, and one structured log
+// line per request goes to stderr.  /metrics serves the telemetry
+// registry in Prometheus text format, /debug/flight the flight
+// recorder's recent notable events, and SIGQUIT dumps the flight
+// record to stderr without stopping the daemon.
+//
 // Usage:
 //
 //	eeld [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
 //	     [-cache-bytes N] [-mem-entries N] [-workers N] [-queue N]
 //	     [-timeout D] [-drain-timeout D] [-max-binary N] [-j N]
-//	     [-metrics] [-trace FILE] [-pprof ADDR]
+//	     [-log] [-metrics] [-trace FILE] [-pprof ADDR]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"eel/internal/eeld"
+	"eel/internal/obs"
 	"eel/internal/telemetry"
 )
 
@@ -44,6 +53,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound on SIGTERM")
 	maxBinary := flag.Int64("max-binary", 0, "largest accepted binary in bytes (0 = default)")
 	jobs := flag.Int("j", 0, "per-job analysis worker count (0 = GOMAXPROCS)")
+	logReq := flag.Bool("log", true, "log one structured line per request to stderr")
 	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -53,6 +63,10 @@ func main() {
 	}
 	defer tool.Close(os.Stderr)
 
+	var logger *slog.Logger
+	if *logReq {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv, err := eeld.New(eeld.Config{
 		Addr:            *addr,
 		CacheDir:        *cacheDir,
@@ -64,6 +78,7 @@ func main() {
 		MaxQueue:        *queue,
 		RequestTimeout:  *timeout,
 		MaxBinaryBytes:  *maxBinary,
+		Logger:          logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -76,6 +91,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, ", cache %s", *cacheDir)
 	}
 	fmt.Fprintln(os.Stderr)
+
+	// SIGQUIT dumps the flight recorder and keeps serving — the
+	// "what just happened" lever for a daemon that must stay up.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			obs.ActiveFlight().Dump(os.Stderr)
+		}
+	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

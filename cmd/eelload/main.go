@@ -46,10 +46,55 @@ type phaseResult struct {
 	RPS      float64 `json:"requests_per_sec"`
 	P50MS    float64 `json:"p50_ms"`
 	P99MS    float64 `json:"p99_ms"`
+	// SrvP50MS/SrvP99MS are exact percentiles of the server-side
+	// queue+run time each response reports in its summary headers —
+	// the interval the daemon's eeld.latency_ns histogram observes
+	// (client wall time above also includes HTTP transport queuing).
+	SrvP50MS float64 `json:"srv_p50_ms,omitempty"`
+	SrvP99MS float64 `json:"srv_p99_ms,omitempty"`
+	// P50EstMS/P99EstMS are the same server-side percentiles estimated
+	// from that histogram (what a /metrics scrape derives); they must
+	// agree with the exact SrvP* ones to within one log-scale bucket.
+	// Zero in external -server mode.
+	P50EstMS float64 `json:"p50_est_ms,omitempty"`
+	P99EstMS float64 `json:"p99_est_ms,omitempty"`
 	Hits     uint64  `json:"cache_hits"`
 	DiskHits uint64  `json:"cache_disk_hits"`
 	Misses   uint64  `json:"cache_misses"`
 	HitRate  float64 `json:"hit_rate"`
+}
+
+// estimatePercentiles fills a phase's histogram-estimated p50/p99
+// from the daemon's request-latency histogram and cross-checks them
+// against the exact server-side percentiles: both summarize the same
+// per-request durations, so they must land within one log-scale
+// bucket of each other.  Returns false on disagreement.
+func estimatePercentiles(ph *phaseResult, reg *telemetry.Registry) bool {
+	h := reg.Snapshot().Histograms["eeld.latency_ns"]
+	if h.Count == 0 {
+		return true
+	}
+	ph.P50EstMS = float64(h.Quantile(0.50)) / 1e6
+	ph.P99EstMS = float64(h.Quantile(0.99)) / 1e6
+
+	ok := true
+	for _, c := range []struct {
+		name       string
+		est, exact float64
+	}{
+		{"p50", ph.P50EstMS, ph.SrvP50MS},
+		{"p99", ph.P99EstMS, ph.SrvP99MS},
+	} {
+		eb := telemetry.BucketIndex(uint64(c.est * 1e6))
+		xb := telemetry.BucketIndex(uint64(c.exact * 1e6))
+		if d := eb - xb; d < -1 || d > 1 {
+			fmt.Fprintf(os.Stderr,
+				"eelload: %s disagreement: histogram estimate %.2fms (bucket %d) vs exact server-side %.2fms (bucket %d)\n",
+				c.name, c.est, eb, c.exact, xb)
+			ok = false
+		}
+	}
+	return ok
 }
 
 type benchResult struct {
@@ -110,6 +155,7 @@ func main() {
 		Routines: *routines,
 	}
 
+	agree := true
 	if *server != "" {
 		// External daemon: one phase, no restart.
 		warm := drive(*server, bins, *clients, *requests)
@@ -133,6 +179,7 @@ func main() {
 
 		srv1 := startDaemon(cfg)
 		cold := drive("http://"+srv1.Addr(), bins, *clients, *requests)
+		agree = estimatePercentiles(&cold, srv1.Registry())
 		res.Cold = &cold
 		drain(srv1)
 
@@ -142,6 +189,7 @@ func main() {
 		warmStart := time.Now()
 		warm := drive("http://"+srv2.Addr(), bins, *clients, *requests)
 		warmWall := time.Since(warmStart)
+		agree = estimatePercentiles(&warm, srv2.Registry()) && agree
 		res.Warm = &warm
 		res.WarmHitRate = warm.HitRate
 
@@ -164,6 +212,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "eelload: wrote %s\n", *out)
 
+	if !agree {
+		fatal(fmt.Errorf("histogram-estimated percentiles disagree with exact server-side percentiles by more than one bucket"))
+	}
 	if *minWarmHit > 0 && res.WarmHitRate < *minWarmHit {
 		fatal(fmt.Errorf("warm hit rate %.3f below required %.3f", res.WarmHitRate, *minWarmHit))
 	}
@@ -193,9 +244,10 @@ func drain(srv *eeld.Server) {
 // returns the phase's latency and cache aggregates.
 func drive(base string, bins [][]byte, n, r int) phaseResult {
 	type sample struct {
-		lat time.Duration
-		c   eeld.CacheStats
-		err error
+		lat   time.Duration
+		srvNS int64
+		c     eeld.CacheStats
+		err   error
 	}
 	samples := make([][]sample, n)
 	start := time.Now()
@@ -204,11 +256,16 @@ func drive(base string, bins [][]byte, n, r int) phaseResult {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			client := &eeld.Client{Base: base, Name: fmt.Sprintf("load-%d", ci)}
+			var srvNS int64
+			client := &eeld.Client{
+				Base: base, Name: fmt.Sprintf("load-%d", ci),
+				OnSummary: func(s eeld.RequestSummary) { srvNS = s.QueueNS + s.RunNS },
+			}
 			ctx := context.Background()
 			for ri := 0; ri < r; ri++ {
 				bin := bins[(ci+ri)%len(bins)]
 				t0 := time.Now()
+				srvNS = 0
 				var cs eeld.CacheStats
 				var err error
 				if ri%3 == 2 {
@@ -222,7 +279,7 @@ func drive(base string, bins [][]byte, n, r int) phaseResult {
 						cs = resp.Cache
 					}
 				}
-				samples[ci] = append(samples[ci], sample{time.Since(t0), cs, err})
+				samples[ci] = append(samples[ci], sample{time.Since(t0), srvNS, cs, err})
 			}
 		}(ci)
 	}
@@ -230,7 +287,7 @@ func drive(base string, bins [][]byte, n, r int) phaseResult {
 	wall := time.Since(start)
 
 	var ph phaseResult
-	var lats []time.Duration
+	var lats, srvLats []time.Duration
 	for _, cs := range samples {
 		for _, s := range cs {
 			ph.Requests++
@@ -239,6 +296,9 @@ func drive(base string, bins [][]byte, n, r int) phaseResult {
 				continue
 			}
 			lats = append(lats, s.lat)
+			if s.srvNS > 0 {
+				srvLats = append(srvLats, time.Duration(s.srvNS))
+			}
 			ph.Hits += s.c.Hits
 			ph.DiskHits += s.c.DiskHits
 			ph.Misses += s.c.Misses
@@ -247,6 +307,9 @@ func drive(base string, bins [][]byte, n, r int) phaseResult {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	ph.P50MS = percentileMS(lats, 50)
 	ph.P99MS = percentileMS(lats, 99)
+	sort.Slice(srvLats, func(i, j int) bool { return srvLats[i] < srvLats[j] })
+	ph.SrvP50MS = percentileMS(srvLats, 50)
+	ph.SrvP99MS = percentileMS(srvLats, 99)
 	ph.WallMS = float64(wall.Nanoseconds()) / 1e6
 	if wall > 0 {
 		ph.RPS = float64(ph.Requests) / wall.Seconds()
@@ -274,6 +337,11 @@ func report(res benchResult) {
 		fmt.Fprintf(os.Stderr,
 			"eelload: %-4s %d reqs (%d errors) in %.0fms — %.1f req/s, p50 %.2fms, p99 %.2fms, hit rate %.1f%% (%d disk)\n",
 			name, ph.Requests, ph.Errors, ph.WallMS, ph.RPS, ph.P50MS, ph.P99MS, 100*ph.HitRate, ph.DiskHits)
+		if ph.P99EstMS > 0 {
+			fmt.Fprintf(os.Stderr,
+				"eelload: %-4s server-side p50 %.2fms, p99 %.2fms exact; p50 %.2fms, p99 %.2fms histogram-estimated\n",
+				name, ph.SrvP50MS, ph.SrvP99MS, ph.P50EstMS, ph.P99EstMS)
+		}
 	}
 	show("cold", res.Cold)
 	show("warm", res.Warm)

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"eel/internal/obs"
 )
 
 // Client is the thin HTTP client behind cmd/eelctl and cmd/eelload.
@@ -21,6 +23,27 @@ type Client struct {
 	Weight int
 	// HTTP overrides the transport (nil = http.DefaultClient).
 	HTTP *http.Client
+	// OnSummary, when set, receives the per-request span summary the
+	// server returns in response headers (including the trace ID this
+	// client minted), one call per completed request.
+	OnSummary func(RequestSummary)
+}
+
+// RequestSummary is the client-side view of one request's span
+// summary: the trace context minted for the request plus the
+// server-reported timing and cache breakdown.
+type RequestSummary struct {
+	// Trace is the context this client sent; ServerTrace the (child)
+	// context the server echoed back, sharing Trace's trace ID.
+	Trace       obs.SpanContext
+	ServerTrace string
+	Path        string
+	Status      int
+	QueueNS     int64
+	RunNS       int64
+	CacheHits   uint64
+	CacheMisses uint64
+	BytesOut    int64
 }
 
 // StatusError is a non-2xx server reply.
@@ -57,15 +80,37 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	if c.Weight > 0 {
 		hr.Header.Set("X-Eel-Weight", strconv.Itoa(c.Weight))
 	}
+	// Mint a trace for this request; the server continues it across
+	// queue wait, handler, and pipeline and echoes it back.
+	sc := obs.NewSpanContext()
+	hr.Header.Set(obs.TraceHeader, sc.String())
 	res, err := c.httpClient().Do(hr)
 	if err != nil {
 		return err
 	}
 	defer res.Body.Close()
+	if c.OnSummary != nil {
+		c.OnSummary(RequestSummary{
+			Trace:       sc,
+			ServerTrace: res.Header.Get(obs.TraceHeader),
+			Path:        path,
+			Status:      res.StatusCode,
+			QueueNS:     headerInt(res.Header, HeaderQueueNS),
+			RunNS:       headerInt(res.Header, HeaderRunNS),
+			CacheHits:   uint64(headerInt(res.Header, HeaderCacheHits)),
+			CacheMisses: uint64(headerInt(res.Header, HeaderCacheMisses)),
+			BytesOut:    headerInt(res.Header, HeaderBytesRewritten),
+		})
+	}
 	if res.StatusCode != http.StatusOK {
 		return readError(res)
 	}
 	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+func headerInt(h http.Header, name string) int64 {
+	v, _ := strconv.ParseInt(h.Get(name), 10, 64)
+	return v
 }
 
 func readError(res *http.Response) error {

@@ -1,0 +1,267 @@
+package eeld
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"eel/internal/binfile"
+	"eel/internal/obs"
+	"eel/internal/progen"
+	"eel/internal/telemetry"
+)
+
+// TestServerTracePropagation is the tentpole's tracing contract: the
+// client mints a trace, the server continues it (new span, same
+// trace), and the queue, handler, pipeline, wave, and per-routine
+// spans all carry that one trace ID.
+func TestServerTracePropagation(t *testing.T) {
+	tr := telemetry.NewTracer()
+	_, client, shutdown := newTestServer(t, Config{Workers: 2, Tracer: tr})
+
+	var sums []RequestSummary
+	client.OnSummary = func(s RequestSummary) { sums = append(sums, s) }
+	bin := genBinary(t, 21, 12)
+	if _, err := client.Analyze(context.Background(), &AnalyzeRequest{Binary: bin}); err != nil {
+		t.Fatal(err)
+	}
+	// Drain + close before reading the tracer: the handler records its
+	// last spans after the response body is written.
+	shutdown()
+
+	if len(sums) != 1 {
+		t.Fatalf("OnSummary fired %d times, want 1", len(sums))
+	}
+	sum := sums[0]
+	if !sum.Trace.Valid() {
+		t.Fatal("client minted no trace")
+	}
+	server, ok := obs.ParseSpanContext(sum.ServerTrace)
+	if !ok {
+		t.Fatalf("server echoed unparseable trace %q", sum.ServerTrace)
+	}
+	if server.Trace != sum.Trace.Trace {
+		t.Fatalf("server continued trace %016x, client minted %016x", server.Trace, sum.Trace.Trace)
+	}
+	if server.Span == sum.Trace.Span {
+		t.Error("server child span reused the client's span id")
+	}
+	if sum.Status != http.StatusOK {
+		t.Errorf("summary status %d", sum.Status)
+	}
+	if sum.CacheMisses == 0 {
+		t.Error("cold analyze summary reported no cache misses")
+	}
+
+	traceID := sum.Trace.TraceID()
+	onTrace := map[string]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Args["trace"] == traceID {
+			onTrace[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"eeld.request", "eeld.queue", "eeld.handler", "pipeline.AnalyzeAll"} {
+		if !onTrace[want] {
+			t.Errorf("no %q span on trace %s (got %v)", want, traceID, onTrace)
+		}
+	}
+	var wave, perRoutine bool
+	for name := range onTrace {
+		wave = wave || strings.HasPrefix(name, "wave ")
+		perRoutine = perRoutine || strings.HasPrefix(name, "analyze ")
+	}
+	if !wave || !perRoutine {
+		t.Errorf("pipeline internals missing from trace: wave=%v per-routine=%v (%v)", wave, perRoutine, onTrace)
+	}
+}
+
+// TestServerMetricsScrapeAgreement drives a batch of requests and
+// checks (a) /metrics serves the request counter and latency buckets
+// in Prometheus text format, and (b) the histogram-estimated p50/p99
+// agree with the exact order statistics of the same per-request
+// durations to within one log-scale bucket.
+func TestServerMetricsScrapeAgreement(t *testing.T) {
+	srv, client, shutdown := newTestServer(t, Config{Workers: 2})
+	defer shutdown()
+	ctx := context.Background()
+	bins := [][]byte{genBinary(t, 31, 10), genBinary(t, 32, 10)}
+
+	// Exact samples: the server-reported queue+run time per request —
+	// the same interval the eeld.latency_ns histogram observes.
+	var exact []uint64
+	client.OnSummary = func(s RequestSummary) { exact = append(exact, uint64(s.QueueNS+s.RunNS)) }
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := client.Analyze(ctx, &AnalyzeRequest{Binary: bins[i%len(bins)]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(exact) != n {
+		t.Fatalf("collected %d summaries, want %d", len(exact), n)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+
+	hs := srv.Registry().Snapshot().Histograms["eeld.latency_ns"]
+	if hs.Count != n {
+		t.Fatalf("latency histogram holds %d observations, want %d", hs.Count, n)
+	}
+	for _, tc := range []struct {
+		p    float64
+		pct  int
+		name string
+	}{{0.5, 50, "p50"}, {0.99, 99, "p99"}} {
+		est := hs.Quantile(tc.p)
+		ex := exact[(len(exact)-1)*tc.pct/100]
+		if d := telemetry.BucketIndex(est) - telemetry.BucketIndex(ex); d < -1 || d > 1 {
+			t.Errorf("%s: histogram estimate %dns (bucket %d) vs exact %dns (bucket %d) — more than one bucket apart",
+				tc.name, est, telemetry.BucketIndex(est), ex, telemetry.BucketIndex(ex))
+		}
+	}
+
+	resp, err := http.Get(client.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("scrape content type %q", ct)
+	}
+	m := regexp.MustCompile(`(?m)^eeld_requests_total (\d+)$`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no eeld_requests_total in scrape:\n%s", out)
+	}
+	if v, _ := strconv.Atoi(m[1]); v < n {
+		t.Errorf("eeld_requests_total %d, want >= %d", v, n)
+	}
+	for _, want := range []string{
+		`eeld_latency_ns_bucket{le="`,
+		`eeld_latency_ns_bucket{le="+Inf"} ` + strconv.Itoa(n),
+		"eeld_latency_ns_count " + strconv.Itoa(n),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestServerVerifySelfModFlightRecord forces the routine tier's
+// promote/deopt cycle through a self-modifying verify job and checks
+// the events land in the flight recorder and are served by
+// /debug/flight.
+func TestServerVerifySelfModFlightRecord(t *testing.T) {
+	prev := obs.ActiveFlight()
+	defer func() {
+		obs.DisableFlight()
+		if prev != nil {
+			obs.EnableFlight(0)
+		}
+	}()
+	obs.EnableFlight(4096)
+
+	_, client, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+
+	cfg := progen.DefaultConfig(5)
+	cfg.Routines = 8
+	cfg.SelfMod = true
+	p, err := progen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := binfile.Write(p.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vr, err := client.Verify(context.Background(), &VerifyRequest{Binary: bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.OK {
+		t.Fatalf("self-modifying program failed verify: %s", vr.Divergence)
+	}
+
+	resp, err := http.Get(client.Base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []struct {
+		TS   int64  `json:"ts_ns"`
+		Kind string `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, e := range evs {
+		kinds[e.Kind]++
+		if e.TS == 0 {
+			t.Error("flight event without timestamp")
+		}
+	}
+	for _, want := range []string{"tier-promote", "routine-install", "routine-deopt", "invalidate"} {
+		if kinds[want] == 0 {
+			t.Errorf("verify of a self-modifying program recorded no %q events (got %v)", want, kinds)
+		}
+	}
+}
+
+func encodeBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+// TestServerSummaryHeaders checks the per-request span summary rides
+// the response headers.
+func TestServerSummaryHeaders(t *testing.T) {
+	_, client, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	bin := genBinary(t, 41, 8)
+
+	req, err := http.NewRequest(http.MethodPost, client.Base+"/v1/analyze", encodeBody(t, &AnalyzeRequest{Binary: bin}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	sc := obs.NewSpanContext()
+	req.Header.Set(obs.TraceHeader, sc.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	echoed, ok := obs.ParseSpanContext(resp.Header.Get(obs.TraceHeader))
+	if !ok || echoed.Trace != sc.Trace {
+		t.Errorf("trace header %q does not continue %q", resp.Header.Get(obs.TraceHeader), sc.String())
+	}
+	if resp.Header.Get(HeaderQueueNS) == "" || resp.Header.Get(HeaderRunNS) == "" {
+		t.Error("summary timing headers missing")
+	}
+	if v, err := strconv.Atoi(resp.Header.Get(HeaderCacheMisses)); err != nil || v == 0 {
+		t.Errorf("cold analyze X-Eel-Cache-Misses = %q", resp.Header.Get(HeaderCacheMisses))
+	}
+	if d, _ := strconv.ParseInt(resp.Header.Get(HeaderRunNS), 10, 64); d <= 0 || d > int64(time.Minute) {
+		t.Errorf("implausible run duration %s", resp.Header.Get(HeaderRunNS))
+	}
+}

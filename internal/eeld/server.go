@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -17,6 +19,7 @@ import (
 
 	"eel/internal/binfile"
 	"eel/internal/core"
+	"eel/internal/obs"
 	"eel/internal/pipeline"
 	"eel/internal/qpt"
 	"eel/internal/sim"
@@ -53,6 +56,12 @@ type Config struct {
 	// Registry receives the daemon's telemetry (nil = the process
 	// default registry).
 	Registry *telemetry.Registry
+	// Tracer receives request/queue/handler spans (nil = the process
+	// active tracer, which may itself be nil — spans then cost one
+	// branch).
+	Tracer *telemetry.Tracer
+	// Logger receives one structured line per request (nil = discard).
+	Logger *slog.Logger
 }
 
 // Server is the eeld daemon: an HTTP front end over the shared
@@ -63,6 +72,7 @@ type Server struct {
 	disk  *pipeline.DiskStore
 	sched *sched
 	reg   *telemetry.Registry
+	log   *slog.Logger
 
 	requests, completed, failed *telemetry.Counter
 	rejected, timeouts          *telemetry.Counter
@@ -118,6 +128,18 @@ func New(cfg Config) (*Server, error) {
 		bytesRewritten: reg.Counter("eeld.bytes_rewritten"),
 		serveErr:       make(chan error, 1),
 	}
+	if cfg.Logger != nil {
+		s.log = cfg.Logger
+	} else {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// The flight recorder is always on in the daemon: when a request
+	// goes sideways, the last few thousand notable events (deopts,
+	// invalidations, admission rejects, corrupt cache drops) are the
+	// story, and they are only there if recording never stopped.
+	if obs.ActiveFlight() == nil {
+		obs.EnableFlight(0)
+	}
 	if cfg.CacheDir != "" {
 		disk, err := pipeline.OpenDiskStore(cfg.CacheDir, cfg.CacheEntries, cfg.CacheBytes)
 		if err != nil {
@@ -136,6 +158,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", obs.MetricsHandler(s.reg))
+	s.mux.Handle("/debug/flight", obs.FlightHandler())
 	s.mux.HandleFunc("/v1/analyze", s.job(s.runAnalyze))
 	s.mux.HandleFunc("/v1/instrument", s.job(s.runInstrument))
 	s.mux.HandleFunc("/v1/verify", s.job(s.runVerify))
@@ -159,6 +183,17 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the daemon's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the daemon's telemetry registry — what /metrics
+// serves.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+func (s *Server) tracer() *telemetry.Tracer {
+	if s.cfg.Tracer != nil {
+		return s.cfg.Tracer
+	}
+	return telemetry.ActiveTracer()
+}
 
 // Start listens on the configured address and serves until Drain.
 func (s *Server) Start() error {
@@ -291,10 +326,56 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // runner executes one decoded request and returns its response value.
 type runner func(ctx context.Context, r *http.Request) (any, error)
 
+// reqSummary is the per-request span summary returned in response
+// headers and logged per request.
+type reqSummary struct {
+	cacheHits      uint64
+	cacheMisses    uint64
+	bytesRewritten int
+}
+
+// summarize pulls the span-summary fields out of a runner's response.
+func summarize(resp any) (sum reqSummary) {
+	switch v := resp.(type) {
+	case *AnalyzeResponse:
+		sum.cacheHits = v.Cache.Hits + v.Cache.DiskHits
+		sum.cacheMisses = v.Cache.Misses
+	case *InstrumentResponse:
+		sum.cacheHits = v.Cache.Hits + v.Cache.DiskHits
+		sum.cacheMisses = v.Cache.Misses
+		sum.bytesRewritten = len(v.Binary)
+	case *VerifyResponse:
+		sum.cacheHits = v.Cache.Hits + v.Cache.DiskHits
+		sum.cacheMisses = v.Cache.Misses
+	}
+	return sum
+}
+
+// Summary response headers, the lightweight alternative to a trace
+// viewer: every reply says where its time went.
+const (
+	HeaderQueueNS        = "X-Eel-Queue-Ns"
+	HeaderRunNS          = "X-Eel-Run-Ns"
+	HeaderCacheHits      = "X-Eel-Cache-Hits"
+	HeaderCacheMisses    = "X-Eel-Cache-Misses"
+	HeaderBytesRewritten = "X-Eel-Bytes-Rewritten"
+)
+
+func setSummaryHeaders(h http.Header, queueNS, runNS int64, sum reqSummary) {
+	h.Set(HeaderQueueNS, strconv.FormatInt(queueNS, 10))
+	h.Set(HeaderRunNS, strconv.FormatInt(runNS, 10))
+	h.Set(HeaderCacheHits, strconv.FormatUint(sum.cacheHits, 10))
+	h.Set(HeaderCacheMisses, strconv.FormatUint(sum.cacheMisses, 10))
+	h.Set(HeaderBytesRewritten, strconv.Itoa(sum.bytesRewritten))
+}
+
 // job wraps a runner with the daemon's admission control: strict
 // method check, client identification, bounded-queue submission with
 // weighted round robin, a request timeout spanning queue wait plus
-// execution, and uniform error mapping.
+// execution, and uniform error mapping.  It also owns the request's
+// observability: the trace is continued (or minted) here, spans cover
+// admission, queue wait, and handler execution, and every reply
+// carries the X-Eel-Trace plus span-summary headers.
 func (s *Server) job(run runner) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -302,9 +383,25 @@ func (s *Server) job(run runner) http.HandlerFunc {
 			return
 		}
 		s.requests.Add(1)
+
+		// Continue the caller's trace or mint a fresh one, and echo
+		// the (possibly new) context back immediately — even rejects
+		// are correlatable.
+		sc, ok := obs.ParseSpanContext(r.Header.Get(obs.TraceHeader))
+		if ok {
+			sc = sc.Child()
+		} else {
+			sc = obs.NewSpanContext()
+		}
+		w.Header().Set(obs.TraceHeader, sc.String())
+
+		tr := s.tracer()
+		reqSpan := tr.Begin("eeld.request", "eeld")
+		reqSpan.Arg("trace", sc.TraceID())
+		reqSpan.Arg("path", r.URL.Path)
+
 		if s.isDraining() {
-			s.rejected.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: ErrDraining.Error()})
+			s.reject(w, r, sc, http.StatusServiceUnavailable, ErrDraining)
 			return
 		}
 		client := r.Header.Get("X-Eel-Client")
@@ -317,68 +414,113 @@ func (s *Server) job(run runner) http.HandlerFunc {
 				weight = v
 			}
 		}
+		reqSpan.Arg("client", client)
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(obs.ContextWith(r.Context(), sc), s.cfg.RequestTimeout)
 		defer cancel()
 		start := time.Now()
 
 		type outcome struct {
-			resp any
-			err  error
+			resp    any
+			err     error
+			queueNS int64
+			runNS   int64
 		}
 		done := make(chan outcome, 1)
+		queueSpan := tr.Begin("eeld.queue", "eeld")
+		queueSpan.Arg("trace", sc.TraceID())
+		queueSpan.Arg("client", client)
 		err := s.sched.submit(client, weight, func() {
+			queueNS := time.Since(start).Nanoseconds()
+			queueSpan.End()
 			// The request may have timed out or disconnected while
 			// queued; don't burn a worker on it.
 			if ctx.Err() != nil {
-				done <- outcome{nil, ctx.Err()}
+				done <- outcome{err: ctx.Err(), queueNS: queueNS}
 				return
 			}
+			handlerSpan := tr.Begin("eeld.handler", "eeld")
+			handlerSpan.Arg("trace", sc.TraceID())
+			handlerSpan.Arg("path", r.URL.Path)
+			runStart := time.Now()
 			resp, err := run(ctx, r)
-			done <- outcome{resp, err}
+			handlerSpan.End()
+			done <- outcome{resp: resp, err: err, queueNS: queueNS, runNS: time.Since(runStart).Nanoseconds()}
 		})
 		if err != nil {
-			s.rejected.Add(1)
 			status := http.StatusServiceUnavailable
 			if errors.Is(err, ErrQueueFull) {
 				status = http.StatusTooManyRequests
 			}
-			writeJSON(w, status, ErrorResponse{Error: err.Error()})
+			s.reject(w, r, sc, status, err)
 			return
 		}
 
+		var out outcome
 		select {
-		case out := <-done:
-			s.latency.Observe(uint64(time.Since(start)))
-			if out.err != nil {
-				s.writeRunError(w, out.err)
-				return
-			}
-			s.completed.Add(1)
-			writeJSON(w, http.StatusOK, out.resp)
+		case out = <-done:
 		case <-ctx.Done():
 			// The job func checks ctx before running, so an expired
 			// request left in the queue completes as a no-op.
-			s.latency.Observe(uint64(time.Since(start)))
-			s.writeRunError(w, ctx.Err())
+			out = outcome{err: ctx.Err(), queueNS: time.Since(start).Nanoseconds()}
 		}
+		// Observe queue wait + handler run — the same interval the
+		// summary headers report — rather than time.Since(start): the
+		// latter also counts the done-channel wakeup, which under CPU
+		// contention adds tens of ms of goroutine scheduling delay that
+		// no client-visible measurement contains, skewing the
+		// histogram's percentiles away from the exact ones.
+		s.latency.Observe(uint64(out.queueNS + out.runNS))
+		sum := summarize(out.resp)
+		setSummaryHeaders(w.Header(), out.queueNS, out.runNS, sum)
+		status := http.StatusOK
+		if out.err != nil {
+			status = s.writeRunError(w, out.err)
+		} else {
+			s.completed.Add(1)
+			writeJSON(w, http.StatusOK, out.resp)
+		}
+		reqSpan.Arg("status", status)
+		reqSpan.Arg("queue_ns", out.queueNS)
+		reqSpan.Arg("cache_hits", sum.cacheHits)
+		reqSpan.End()
+		s.log.Info("eeld.request",
+			"trace", sc.TraceID(), "client", client, "path", r.URL.Path,
+			"status", status, "queue_ns", out.queueNS, "run_ns", out.runNS,
+			"cache_hits", sum.cacheHits, "cache_misses", sum.cacheMisses,
+			"bytes_rewritten", sum.bytesRewritten)
 	}
 }
 
-func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+// reject refuses a request at admission (draining, queue full) with
+// the matching counter, flight event, and log line.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, sc obs.SpanContext, status int, err error) {
+	s.rejected.Add(1)
+	obs.Record(obs.EvAdmissionReject, uint64(status), uint64(s.sched.depth()))
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	s.log.Warn("eeld.reject",
+		"trace", sc.TraceID(), "path", r.URL.Path, "status", status, "err", err.Error())
+}
+
+func (s *Server) writeRunError(w http.ResponseWriter, err error) int {
 	s.failed.Add(1)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "request timed out"})
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "request canceled"})
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrTooLarge):
 		writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{Error: err.Error()})
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadRequest):
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return http.StatusBadRequest
 	default:
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return http.StatusUnprocessableEntity
 	}
 }
 
@@ -425,6 +567,8 @@ func (s *Server) runAnalyze(ctx context.Context, r *http.Request) (any, error) {
 		NoDominators: req.NoDominators,
 		NoLoops:      req.NoLoops,
 		Telemetry:    s.reg,
+		Tracer:       s.tracer(),
+		TraceTag:     obs.FromContext(ctx).TraceID(),
 	})
 	if err != nil {
 		return nil, err
@@ -457,7 +601,7 @@ func (s *Server) runAnalyze(ctx context.Context, r *http.Request) (any, error) {
 
 // instrumentCommon analyzes and instruments a binary, returning the
 // edited container bytes plus counts.  verify reuses it.
-func (s *Server) instrumentCommon(e *core.Executable, mode qpt.Mode) (*binfile.File, *qpt.Result, pipeline.Stats, error) {
+func (s *Server) instrumentCommon(ctx context.Context, e *core.Executable, mode qpt.Mode) (*binfile.File, *qpt.Result, pipeline.Stats, error) {
 	if mode == qpt.Light {
 		e.LightAnalysis = true
 		e.Scavenge = false
@@ -469,6 +613,8 @@ func (s *Server) instrumentCommon(e *core.Executable, mode qpt.Mode) (*binfile.F
 		NoDominators: true,
 		NoLoops:      true,
 		Telemetry:    s.reg,
+		Tracer:       s.tracer(),
+		TraceTag:     obs.FromContext(ctx).TraceID(),
 	})
 	if err != nil {
 		return nil, nil, pipeline.Stats{}, err
@@ -498,7 +644,7 @@ func (s *Server) runInstrument(ctx context.Context, r *http.Request) (any, error
 		return nil, err
 	}
 	start := time.Now()
-	edited, qres, st, err := s.instrumentCommon(e, mode)
+	edited, qres, st, err := s.instrumentCommon(ctx, e, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -535,7 +681,7 @@ func (s *Server) runVerify(ctx context.Context, r *http.Request) (any, error) {
 		return nil, err
 	}
 	start := time.Now()
-	edited, qres, st, err := s.instrumentCommon(e, qpt.Full)
+	edited, qres, st, err := s.instrumentCommon(ctx, e, qpt.Full)
 	if err != nil {
 		return nil, err
 	}
@@ -543,6 +689,17 @@ func (s *Server) runVerify(ctx context.Context, r *http.Request) (any, error) {
 	runOne := func(f *binfile.File) (*sim.CPU, []byte, error) {
 		var out bytes.Buffer
 		cpu := sim.LoadFile(f, &out)
+		// Verify jobs run on the routine tier with synchronous
+		// promotion at threshold 1: maximum coverage of the engine the
+		// daemon fronts, deterministic compile points, and
+		// tier-promotion/deopt events landing in the flight recorder.
+		// The threshold must be 1 for self-modifying inputs: their
+		// stores invalidate installed programs and reset heat, so any
+		// higher threshold never re-reaches the routine tier between
+		// invalidations and the deopt path goes unexercised.
+		cpu.EnableRoutines = true
+		cpu.RoutineSync = true
+		cpu.RoutineHotThreshold = 1
 		if err := cpu.Run(maxSteps); err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"eel/internal/telemetry"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	if !sc.Valid() {
+		t.Fatal("NewSpanContext returned an invalid context")
+	}
+	s := sc.String()
+	if len(s) != 33 || s[16] != '-' {
+		t.Fatalf("String() = %q, want 16-hex + dash + 16-hex", s)
+	}
+	got, ok := ParseSpanContext(s)
+	if !ok || got != sc {
+		t.Fatalf("ParseSpanContext(%q) = %+v, %v; want %+v", s, got, ok, sc)
+	}
+	if sc.TraceID() != s[:16] {
+		t.Errorf("TraceID() = %q, want %q", sc.TraceID(), s[:16])
+	}
+
+	child := sc.Child()
+	if child.Trace != sc.Trace {
+		t.Errorf("Child changed the trace half: %x vs %x", child.Trace, sc.Trace)
+	}
+	if child.Span == sc.Span {
+		t.Error("Child kept the parent's span id")
+	}
+}
+
+func TestSpanContextInvalid(t *testing.T) {
+	var zero SpanContext
+	if zero.Valid() {
+		t.Error("zero SpanContext is valid")
+	}
+	if zero.String() != "" {
+		t.Errorf("zero String() = %q, want empty", zero.String())
+	}
+
+	bad := []string{
+		"",
+		"not-a-context",
+		"0000000000000001",                     // no dash
+		"00000000000000001-0000000000000001",   // 17-char trace
+		"000000000000000g-0000000000000001",    // non-hex
+		"0000000000000000-0000000000000001",    // zero trace
+		"000000000000000a-0000000000000001-xx", // trailing junk
+	}
+	for _, s := range bad {
+		if _, ok := ParseSpanContext(s); ok {
+			t.Errorf("ParseSpanContext(%q) accepted", s)
+		}
+	}
+
+	got, ok := ParseSpanContext("000000000000000a-000000000000000b")
+	if !ok || got.Trace != 0xa || got.Span != 0xb {
+		t.Errorf("ParseSpanContext = %+v, %v; want trace 0xa span 0xb", got, ok)
+	}
+}
+
+func TestFlightRecordWrapSort(t *testing.T) {
+	f := NewFlight(64) // 8 slots per shard
+	const n = 500
+	for i := 0; i < n; i++ {
+		f.Record(EvTierPromote, uint64(i), 7)
+	}
+	evs := f.Events()
+	if len(evs) == 0 || len(evs) > 64 {
+		t.Fatalf("retained %d events after %d records into a 64-slot recorder", len(evs), n)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not in sequence order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Seq != n {
+		t.Errorf("newest retained seq %d, want %d (newest must survive the wrap)", last.Seq, n)
+	}
+	if last.Kind != EvTierPromote || last.B != 7 {
+		t.Errorf("event payload mangled: %+v", last)
+	}
+	if last.TS == 0 {
+		t.Error("event has no timestamp")
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	// 2048 slots per shard: even with random shard placement of 8000
+	// events no shard comes near overflowing, so all must survive.
+	f := NewFlight(16384)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Record(EvInvalidate, uint64(i), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if evs := f.Events(); len(evs) != 8000 {
+		t.Fatalf("retained %d events, want all 8000", len(evs))
+	}
+}
+
+func TestFlightNilAndDisabled(t *testing.T) {
+	var f *Flight
+	f.Record(EvRoutineDeopt, 1, 2) // must not panic
+	if f.Events() != nil {
+		t.Error("nil recorder returned events")
+	}
+	var buf bytes.Buffer
+	f.Dump(&buf)
+	if !strings.Contains(buf.String(), "flight recorder dump: 0 events") {
+		t.Errorf("nil Dump = %q", buf.String())
+	}
+
+	prev := ActiveFlight()
+	defer active.Store(prev)
+	DisableFlight()
+	Record(EvRoutineDeopt, 1, 2) // package-level, disabled: no-op
+	got := EnableFlight(16)
+	if ActiveFlight() != got {
+		t.Fatal("EnableFlight did not install the recorder")
+	}
+	Record(EvRoutineDeopt, 0x1234, 3)
+	evs := got.Events()
+	if len(evs) != 1 || evs[0].Kind != EvRoutineDeopt || evs[0].A != 0x1234 {
+		t.Fatalf("package Record landed wrong: %+v", evs)
+	}
+}
+
+func TestFlightDumpAndJSON(t *testing.T) {
+	f := NewFlight(64)
+	f.Record(EvRoutineDeopt, 0x4010, 2)
+	f.Record(EvCacheCorrupt, 0x4000, 0xdeadbeef)
+
+	var buf bytes.Buffer
+	f.Dump(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "flight recorder dump: 2 events") {
+		t.Errorf("dump header missing: %q", out)
+	}
+	for _, want := range []string{"routine-deopt", "cache-corrupt", "a=0x4010", "b=0xdeadbeef"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []struct {
+		TS   int64  `json:"ts_ns"`
+		Kind string `json:"kind"`
+		A    string `json:"a"`
+		B    string `json:"b"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 2 || evs[0].Kind != "routine-deopt" || evs[1].B != "0xdeadbeef" {
+		t.Fatalf("JSON events wrong: %+v", evs)
+	}
+}
+
+// TestFlightDisabledZeroAlloc is the "always-on" contract: with no
+// recorder installed the package-level Record must not allocate (and
+// with one installed it still must not — events land in preallocated
+// slots).
+func TestFlightDisabledZeroAlloc(t *testing.T) {
+	prev := ActiveFlight()
+	defer active.Store(prev)
+
+	DisableFlight()
+	if n := testing.AllocsPerRun(1000, func() { Record(EvRoutineDeopt, 1, 2) }); n != 0 {
+		t.Errorf("disabled Record allocates %.1f per call", n)
+	}
+	EnableFlight(0)
+	if n := testing.AllocsPerRun(1000, func() { Record(EvRoutineDeopt, 1, 2) }); n != 0 {
+		t.Errorf("enabled Record allocates %.1f per call", n)
+	}
+}
+
+func BenchmarkFlightDisabled(b *testing.B) {
+	prev := ActiveFlight()
+	defer active.Store(prev)
+	DisableFlight()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Record(EvRoutineDeopt, uint64(i), 0)
+	}
+}
+
+func BenchmarkFlightEnabled(b *testing.B) {
+	prev := ActiveFlight()
+	defer active.Store(prev)
+	EnableFlight(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Record(EvRoutineDeopt, uint64(i), 0)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("eeld.requests").Add(42)
+	reg.Counter("weird name!").Add(1)
+	reg.Gauge("eeld.queue_depth").Set(3)
+	h := reg.Histogram("eeld.latency_ns")
+	for _, v := range []uint64{1, 2, 3, 100, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE eeld_requests_total counter\neeld_requests_total 42\n",
+		"# TYPE weird_name__total counter\nweird_name__total 1\n",
+		"# TYPE eeld_queue_depth gauge\neeld_queue_depth 3\n",
+		"# TYPE eeld_latency_ns histogram\n",
+		`eeld_latency_ns_bucket{le="+Inf"} 6`,
+		"eeld_latency_ns_count 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Cumulative buckets must be monotone and end at the count.
+	var last uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "eeld_latency_ns_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = v
+	}
+	if last != 6 {
+		t.Errorf("final cumulative bucket %d, want 6", last)
+	}
+}
+
+func TestMetricsAndFlightHandlers(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("eeld.requests").Add(7)
+
+	rr := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "eeld_requests_total 7") {
+		t.Errorf("scrape missing counter:\n%s", rr.Body.String())
+	}
+
+	prev := ActiveFlight()
+	defer active.Store(prev)
+	f := EnableFlight(16)
+	f.Record(EvTierPromote, 0x4000, 4)
+
+	rr = httptest.NewRecorder()
+	FlightHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if !strings.Contains(rr.Body.String(), "tier-promote") {
+		t.Errorf("flight JSON missing event:\n%s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	FlightHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight?format=text", nil))
+	if !strings.Contains(rr.Body.String(), "flight recorder dump: 1 events") {
+		t.Errorf("flight text dump:\n%s", rr.Body.String())
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eel/internal/obs"
 )
 
 // DiskStore is the persistent second level of the analysis cache: a
@@ -225,6 +227,7 @@ func (s *DiskStore) Load(k Key) ([]byte, bool) {
 	payload, err := unframe(k, data)
 	if err != nil {
 		s.corrupt.Add(1)
+		obs.Record(obs.EvCacheCorrupt, uint64(k.Start), k.Hash)
 		os.Remove(path)
 		s.dropIndex(k)
 		return nil, false

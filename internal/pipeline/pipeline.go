@@ -58,6 +58,11 @@ type Options struct {
 	// Nil defaults to telemetry.ActiveTracer(), which is nil — and
 	// free — unless tracing was enabled.
 	Tracer *telemetry.Tracer
+	// TraceTag, when non-empty, is attached as the "trace" argument on
+	// every span this run emits, tying the run's waves and per-routine
+	// analyses to the distributed trace of the request that triggered
+	// them (eeld threads its X-Eel-Trace ID through here).
+	TraceTag string
 }
 
 // RoutineAnalysis is one routine's immutable analysis bundle.  When
@@ -75,8 +80,11 @@ type RoutineAnalysis struct {
 	// Err records a CFG-construction failure; the pipeline keeps
 	// going so one bad routine doesn't hide the rest.
 	Err error
-	// FromCache reports that this bundle was a cache hit.
+	// FromCache reports that this bundle was a cache hit; FromDisk
+	// that the hit was served by the persistent tier (and decoded),
+	// not the in-memory one.
 	FromCache bool
+	FromDisk  bool
 }
 
 // IndirectJumps is a convenience accessor (nil-safe on Err bundles).
@@ -139,6 +147,9 @@ func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
 		tracer = telemetry.ActiveTracer()
 	}
 	runSpan := tracer.Begin("pipeline.AnalyzeAll", "pipeline")
+	if opts.TraceTag != "" {
+		runSpan.Arg("trace", opts.TraceTag)
+	}
 	start := time.Now()
 
 	var salt uint64
@@ -169,6 +180,9 @@ func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
 		}
 		waveSpan := tracer.Begin(fmt.Sprintf("wave %d", waves), "pipeline")
 		waveSpan.Arg("routines", len(pending))
+		if opts.TraceTag != "" {
+			waveSpan.Arg("trace", opts.TraceTag)
+		}
 
 		out := make([]*RoutineAnalysis, len(pending))
 		jobs := make(chan int)
@@ -184,9 +198,15 @@ func AnalyzeAll(e *core.Executable, opts Options) (*Result, error) {
 				for idx := range jobs {
 					r := pending[idx]
 					sp := tracer.BeginTID("analyze "+r.Name, "routine", worker+1)
+					if opts.TraceTag != "" {
+						sp.Arg("trace", opts.TraceTag)
+					}
 					out[idx] = analyzeRoutine(e, r, opts, salt, col)
 					if out[idx].FromCache {
 						sp.Arg("cache", "hit")
+						if out[idx].FromDisk {
+							sp.Arg("disk", "hit")
+						}
 					}
 					sp.End()
 				}
@@ -267,7 +287,9 @@ func analyzeRoutine(e *core.Executable, r *core.Routine, opts Options, salt uint
 						opts.Cache.put(key, b, col)
 						opts.Cache.countHit(col)
 						col.cacheDiskHits.Add(1)
-						return adoptBundle(e, r, b, col)
+						a := adoptBundle(e, r, b, col)
+						a.FromDisk = true
+						return a
 					}
 				}
 			}

@@ -79,6 +79,12 @@ type Config struct {
 	// benchmarks measure on it).  The trip count lives in data memory
 	// because flat callees clobber main's locals.
 	HotLoop int
+	// SelfMod adds a routine that stores into its own text (the word
+	// is rewritten unchanged, so behaviour is identical on every
+	// engine and layout) and a counted loop in main that calls it
+	// repeatedly — each call fires the emulator's write watch, so the
+	// JIT's promote/install/invalidate/deopt cycle runs over and over.
+	SelfMod bool
 	// Base is the text load address.
 	Base uint32
 }
@@ -194,6 +200,9 @@ func Generate(cfg Config) (*Program, error) {
 			g.emitDataBlob()
 		}
 	}
+	if cfg.SelfMod {
+		g.emitSelfMod()
+	}
 	src := g.b.String()
 	prog, err := asm.Assemble(src, cfg.Base)
 	if err != nil {
@@ -270,6 +279,26 @@ func (g *gen) emitMain() {
 			g.call(i * (g.cfg.Routines / roots))
 		}
 		g.l("\tset %d, %%l1", hotSlot)
+		g.l("\tld [%%l1], %%l0")
+		g.l("\tsubcc %%l0, 1, %%l0")
+		g.l("\tst %%l0, [%%l1]")
+		g.l("\tbne %s", top)
+		g.l("\tnop")
+	}
+	if g.cfg.SelfMod {
+		// A counted loop over the self-modifying routine.  Every call
+		// re-heats selfmod from zero (its text write invalidates the
+		// JIT's caches), so a low-threshold routine tier promotes,
+		// installs, and deopts once per few iterations.  The counter
+		// lives in data memory like HotLoop's.
+		top := g.fresh("smloop")
+		g.l("\tset %d, %%l1", smSlot)
+		g.l("\tset 24, %%l0")
+		g.l("\tst %%l0, [%%l1]")
+		g.l("%s:", top)
+		g.l("\tcall selfmod")
+		g.l("\tnop")
+		g.l("\tset %d, %%l1", smSlot)
 		g.l("\tld [%%l1], %%l0")
 		g.l("\tsubcc %%l0, 1, %%l0")
 		g.l("\tst %%l0, [%%l1]")
@@ -493,6 +522,23 @@ func (g *gen) fpOp(idx int) {
 	g.l("\txor %%o0, %%l2, %%o0")
 }
 
+// emitSelfMod generates the self-modifying routine: it loads the word
+// at its own .Xsmpatch label and stores it back.  The store is a
+// value-level no-op — execution is bit-identical on every engine and
+// under code-moving instrumentation — but the emulator's write watch
+// sees a text write and invalidates translated code, which is exactly
+// the deopt storm the flight recorder exists to capture.
+func (g *gen) emitSelfMod() {
+	g.l("selfmod:")
+	g.l("\tset .Xsmpatch, %%o3")
+	g.l("\tld [%%o3], %%o4")
+	g.l("\tst %%o4, [%%o3]")
+	g.l(".Xsmpatch:")
+	g.l("\tadd %%o0, 1, %%o0")
+	g.l("\tretl")
+	g.l("\tnop")
+}
+
 // emitDataBlob embeds a data table in text with a
 // routine-indistinguishable label (§3.1).
 func (g *gen) emitDataBlob() {
@@ -515,6 +561,9 @@ func (g *gen) addSymbols(f *binfile.File, prog *asm.Program) {
 		}
 	}
 	add("main", binfile.SymFunc, true)
+	if g.cfg.SelfMod {
+		add("selfmod", binfile.SymFunc, true)
+	}
 	for i := 0; i < g.cfg.Routines; i++ {
 		if g.hidden[i] {
 			continue // hidden routine: no symbol
@@ -542,8 +591,11 @@ func (g *gen) addSymbols(f *binfile.File, prog *asm.Program) {
 func fpSlot(i int) uint32 { return 0x400800 + uint32(i)*4 }
 
 // hotSlot holds the HotLoop trip counter (clear of the memOp, fpOp,
-// and function-pointer slot ranges).
-const hotSlot = 0x4007f0
+// and function-pointer slot ranges); smSlot holds the SelfMod loop's.
+const (
+	hotSlot = 0x4007f0
+	smSlot  = 0x4007ec
+)
 
 func min(a, b int) int {
 	if a < b {

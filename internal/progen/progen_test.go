@@ -245,3 +245,49 @@ func TestFloatingPointFeature(t *testing.T) {
 		t.Error("no floating-point instructions generated across seeds")
 	}
 }
+
+// TestSelfModProgram pins the -gen-selfmod workload: the program must
+// halt with the same exit code and output in every engine, must leave
+// non-SelfMod generation byte-identical (no extra rng draws), and must
+// actually exercise the routine tier's promote/deopt cycle.
+func TestSelfModProgram(t *testing.T) {
+	base := progen.MustGenerate(progen.DefaultConfig(11))
+	cfg := progen.DefaultConfig(11)
+	cfg.SelfMod = true
+	p := progen.MustGenerate(cfg)
+
+	// SelfMod only appends: the shared prefix of both sources is
+	// identical, so plain generation is unaffected by the feature.
+	if got, want := progen.MustGenerate(progen.DefaultConfig(11)).Source, base.Source; got != want {
+		t.Fatal("generating a SelfMod program perturbed a later plain generation")
+	}
+
+	ref, refOut := runFile(t, p.File, 50_000_000)
+
+	mem := sim.NewMemory()
+	for _, s := range p.File.Sections {
+		mem.LoadSegment(s.Addr, s.Data)
+	}
+	cpu := sim.New(sparc.NewDecoder(), mem)
+	var out bytes.Buffer
+	cpu.Stdout = &out
+	text := p.File.Text()
+	cpu.TextStart, cpu.TextEnd = text.Addr, text.End()
+	cpu.EnableRoutines = true
+	cpu.RoutineSync = true
+	cpu.RoutineHotThreshold = 1
+	cpu.Reset(p.File.Entry, 0x7ff000)
+	if err := cpu.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.ExitCode != ref.ExitCode || out.String() != refOut {
+		t.Fatalf("routine tier diverged on self-modifying program: exit %d vs %d", cpu.ExitCode, ref.ExitCode)
+	}
+	k := cpu.Counters()
+	if k.RoutinesCompiled == 0 {
+		t.Error("self-mod program compiled no routines")
+	}
+	if k.RoutineDeopts == 0 {
+		t.Error("self-mod program triggered no deopts")
+	}
+}

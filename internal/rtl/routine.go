@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"eel/internal/cfg"
 	"eel/internal/dataflow"
 	"eel/internal/machine"
+	"eel/internal/telemetry"
 )
 
 // RWindow is one saved SPARC register window (locals + ins).  The
@@ -283,7 +285,20 @@ type routineCompiler struct {
 
 // CompileRoutine lowers the routine rooted at entry, described by g
 // and analyzed by lv, to a RoutineProg.  lv may be nil (no elision).
-func CompileRoutine(g *cfg.Graph, lv *dataflow.Liveness, entry uint32) (*RoutineProg, error) {
+func CompileRoutine(g *cfg.Graph, lv *dataflow.Liveness, entry uint32) (prog *RoutineProg, err error) {
+	sp := telemetry.ActiveTracer().Begin("rtl.CompileRoutine", "rtl")
+	start := time.Now()
+	defer func() {
+		telemetry.Default().Histogram("rtl.routine_compile_ns").Observe(uint64(time.Since(start)))
+		sp.Arg("entry", fmt.Sprintf("%#x", entry))
+		if prog != nil {
+			sp.Arg("blocks", len(prog.Blocks))
+		}
+		if err != nil {
+			sp.Arg("error", err.Error())
+		}
+		sp.End()
+	}()
 	rc := &routineCompiler{inv: make(map[uint32]*machine.Inst)}
 	for _, b := range g.Blocks {
 		for _, ci := range b.Insts {
@@ -336,7 +351,7 @@ func CompileRoutine(g *cfg.Graph, lv *dataflow.Liveness, entry uint32) (*Routine
 		}
 	}
 
-	prog := &RoutineProg{Entry: entry, Index: make(map[uint32]int32)}
+	prog = &RoutineProg{Entry: entry, Index: make(map[uint32]int32)}
 	for i := range protos {
 		pb := &protos[i]
 		if pb.stub {

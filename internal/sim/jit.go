@@ -35,6 +35,7 @@ package sim
 
 import (
 	"eel/internal/machine"
+	"eel/internal/obs"
 	"eel/internal/rtl"
 	"eel/internal/spawn"
 	"eel/internal/telemetry"
@@ -192,6 +193,7 @@ func (c *CPU) InvalidateText() {
 	}
 	c.textHashOK = false // text content changed; re-hash on demand
 	telemetry.ActiveTracer().Instant("sim.jit.invalidate", "sim")
+	obs.Record(obs.EvInvalidate, uint64(c.TextStart), c.tc.gen)
 }
 
 // TranslationStats reports translation-cache activity: superblocks

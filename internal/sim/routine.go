@@ -29,6 +29,7 @@ import (
 	"eel/internal/cfg"
 	"eel/internal/dataflow"
 	"eel/internal/machine"
+	"eel/internal/obs"
 	"eel/internal/rtl"
 	"eel/internal/spawn"
 )
@@ -292,6 +293,7 @@ func (c *CPU) rtRequest(entry uint32) {
 		return
 	}
 	c.rt.promotions++
+	obs.Record(obs.EvTierPromote, uint64(entry), c.rt.enters[entry])
 	key := rtCacheKey{textStart: c.TextStart, textEnd: c.TextEnd, hash: c.rtTextHash(), entry: entry}
 	if ent, ok := rtProgCache.Load(key); ok {
 		// Same image, same entry: install the shared program (or the
@@ -329,6 +331,7 @@ func (c *CPU) rtRequest(entry uint32) {
 	case rtWorkQueue <- job:
 	default:
 		delete(c.rt.pending, entry) // queue full: drop, keep candidacy
+		obs.Record(obs.EvCompileStall, uint64(entry), rtQueueDepth)
 	}
 }
 
@@ -362,6 +365,7 @@ func (c *CPU) rtInstall(job *rtJob) {
 		c.rt.heads[pc] = rhead{prog: job.prog, idx: k}
 	}
 	c.rt.compiled++
+	obs.Record(obs.EvRoutineInstall, uint64(job.entry), uint64(len(job.prog.Index)))
 }
 
 // rtFill loads the routine environment from architected state.
@@ -429,6 +433,7 @@ func (c *CPU) runRoutine(rh rhead, maxSteps uint64) (executed bool, err error) {
 					e.Insts += uint64(i) + 1
 					e.PC, e.NPC = pc+4, pc+8
 					c.rt.deopts++
+					obs.Record(obs.EvRoutineDeopt, uint64(pc), e.Gen)
 					c.rtSpill(e)
 					return true, nil
 				default: // StopFault
@@ -460,6 +465,7 @@ func (c *CPU) runRoutine(rh rhead, maxSteps uint64) (executed bool, err error) {
 		// RTermStop: the terminator finalized everything.
 		if e.StopKind == rtl.StopGen {
 			c.rt.deopts++
+			obs.Record(obs.EvRoutineDeopt, uint64(e.PC), e.Gen)
 		}
 		c.rtSpill(e)
 		if e.StopKind == rtl.StopFault {

@@ -93,6 +93,59 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile estimates the p-quantile (0 <= p <= 1) of the recorded
+// samples from the bucket counts: it finds the bucket containing the
+// p-th sample and interpolates linearly inside its [Lo, Hi] range.
+// The estimate is exact for bucket 0/1 and otherwise off by at most
+// the width of one log-scale bucket (a factor of two), which is the
+// error bound the /metrics p99 agreement tests rely on.  An empty
+// snapshot estimates 0.
+func (s HistSnapshot) Quantile(p float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Rank of the target sample, 1-based, matching "the value v such
+	// that p of the samples are <= v".
+	rank := uint64(p * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		if cum+b.Count < rank {
+			cum += b.Count
+			continue
+		}
+		if b.Hi == b.Lo {
+			return b.Lo
+		}
+		// Position of the target within this bucket, in (0, 1].
+		frac := float64(rank-cum) / float64(b.Count)
+		return b.Lo + uint64(frac*float64(b.Hi-b.Lo))
+	}
+	return s.Max
+}
+
+// Quantile estimates the p-quantile of the live histogram; see
+// HistSnapshot.Quantile for the error bound.
+func (h *Histogram) Quantile(p float64) uint64 {
+	return h.Snapshot().Quantile(p)
+}
+
+// BucketIndex returns the bucket index a value falls into — exported
+// so tests elsewhere can assert two values land within one log-scale
+// bucket of each other.
+func BucketIndex(v uint64) int { return bucketFor(v) }
+
 // observeBucket adds count samples directly to bucket i (used by
 // Registry.AddTo to merge histograms; sum/max are approximated by the
 // bucket's lower bound, which preserves the shape merges care about).

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+
+	h := &Histogram{}
+	h.Observe(5)
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("p<0 not clamped: %d", got)
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("p>1 not clamped: %d", got)
+	}
+	// A single observation: every quantile lands in its bucket.
+	if got, want := h.Quantile(0.5), uint64(5); BucketIndex(got) != BucketIndex(want) {
+		t.Errorf("Quantile(0.5) = %d, not in bucket of %d", got, want)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All values identical: the estimate must stay in that bucket and
+	// p=1 must not run past Max.
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(p); BucketIndex(got) != BucketIndex(1000) {
+			t.Errorf("Quantile(%g) = %d, outside the bucket of 1000", p, got)
+		}
+	}
+}
+
+// TestQuantileVsExact is the satellite contract eelload relies on: the
+// histogram-estimated percentile of a latency-shaped distribution must
+// land within one log-scale bucket of the exact order-statistic.
+func TestQuantileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Histogram{}
+	var vals []uint64
+	for i := 0; i < 10000; i++ {
+		// Log-normal-ish latencies: microseconds to tens of ms in ns.
+		v := uint64(1000 * (1 << uint(rng.Intn(15))))
+		v += uint64(rng.Int63n(int64(v)))
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	s := h.Snapshot()
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		exact := vals[int(float64(len(vals)-1)*p)]
+		est := s.Quantile(p)
+		eb, xb := BucketIndex(est), BucketIndex(exact)
+		if d := eb - xb; d < -1 || d > 1 {
+			t.Errorf("p%.0f: estimated %d (bucket %d) vs exact %d (bucket %d) — more than one bucket apart",
+				100*p, est, eb, exact, xb)
+		}
+	}
+	if s.Quantile(1) < s.Quantile(0.5) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestBucketIndexMatchesBounds(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1 << 20, 1<<63 + 5} {
+		i := BucketIndex(v)
+		lo, hi := BucketBounds(i)
+		if v < lo || v > hi {
+			t.Errorf("BucketIndex(%d) = %d with bounds [%d, %d] not containing it", v, i, lo, hi)
+		}
+	}
+}

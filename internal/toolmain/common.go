@@ -10,6 +10,7 @@ import (
 
 	"eel/internal/binfile"
 	"eel/internal/core"
+	"eel/internal/obs"
 	"eel/internal/pipeline"
 	"eel/internal/progen"
 	"eel/internal/telemetry"
@@ -30,6 +31,13 @@ type Common struct {
 	// -gen-routines.
 	Gen         int64
 	GenRoutines int
+	// GenSelfMod is -gen-selfmod: make the generated program patch
+	// its own text so the routine tier's promote/deopt cycle (and the
+	// flight recorder) gets exercised.
+	GenSelfMod bool
+	// MetricsAddr is -metrics-addr: serve /metrics (Prometheus text)
+	// and /debug/flight on this address for the life of the command.
+	MetricsAddr string
 
 	tf   *telemetry.ToolFlags
 	tool *telemetry.Tool
@@ -43,6 +51,8 @@ func AddCommon(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Stats, "stats", false, "print analysis pipeline statistics")
 	fs.Int64Var(&c.Gen, "gen", -1, "generate a synthetic input program with this seed")
 	fs.IntVar(&c.GenRoutines, "gen-routines", 40, "routines in the generated program")
+	fs.BoolVar(&c.GenSelfMod, "gen-selfmod", false, "make the generated program self-modifying (exercises JIT deopt)")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics and /debug/flight on this address")
 	c.tf = telemetry.AddFlags(fs)
 	return c
 }
@@ -56,6 +66,17 @@ func (c *Common) Start(w io.Writer) (func() error, error) {
 		return nil, err
 	}
 	c.tool = tool
+	if c.MetricsAddr != "" {
+		// A scrape endpoint implies the instruments behind it.
+		telemetry.Enable()
+		if obs.ActiveFlight() == nil {
+			obs.EnableFlight(0)
+		}
+		if err := obs.ServeDebug(c.MetricsAddr, nil); err != nil {
+			tool.Close(io.Discard)
+			return nil, err
+		}
+	}
 	return func() error { return tool.Close(w) }, nil
 }
 
@@ -68,6 +89,7 @@ func (c *Common) OpenInput(arg string) (*binfile.File, string, error) {
 	case c.Gen >= 0:
 		cfg := progen.DefaultConfig(c.Gen)
 		cfg.Routines = c.GenRoutines
+		cfg.SelfMod = c.GenSelfMod
 		p, err := progen.Generate(cfg)
 		if err != nil {
 			return nil, "", err

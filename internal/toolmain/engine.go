@@ -3,6 +3,8 @@ package toolmain
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"eel/internal/sim"
 )
@@ -16,6 +18,12 @@ type Engine struct {
 	name    *string
 	nojit   *bool
 	nochain *bool
+	warned  bool
+
+	// Warn receives the one-line deprecation notice when -nojit or
+	// -nochain selects the engine (nil = os.Stderr; tests inject a
+	// buffer).
+	Warn io.Writer
 }
 
 // Engine names accepted by -engine, slowest tier first.
@@ -52,11 +60,20 @@ func (e *Engine) Name() (string, error) {
 	})
 	name := *e.name
 	if !explicit {
+		alias := ""
 		switch {
 		case *e.nojit:
-			name = EngineInterp
+			name, alias = EngineInterp, "-nojit"
 		case *e.nochain:
-			name = EngineTranslated
+			name, alias = EngineTranslated, "-nochain"
+		}
+		if alias != "" && !e.warned {
+			e.warned = true
+			w := e.Warn
+			if w == nil {
+				w = os.Stderr
+			}
+			fmt.Fprintf(w, "warning: %s is deprecated, use -engine=%s\n", alias, name)
 		}
 	}
 	switch name {

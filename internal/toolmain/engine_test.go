@@ -1,0 +1,59 @@
+package toolmain_test
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"eel/internal/toolmain"
+)
+
+// TestEngineDeprecationWarning pins the -nojit/-nochain alias
+// behaviour: each prints a one-line pointer at -engine exactly once,
+// and an explicit -engine silences the aliases entirely.
+func TestEngineDeprecationWarning(t *testing.T) {
+	cases := []struct {
+		args       []string
+		wantEngine string
+		wantWarn   string
+	}{
+		{[]string{"-nojit"}, toolmain.EngineInterp, "warning: -nojit is deprecated, use -engine=interp"},
+		{[]string{"-nochain"}, toolmain.EngineTranslated, "warning: -nochain is deprecated, use -engine=translated"},
+		{[]string{"-engine=chained", "-nojit"}, toolmain.EngineChained, ""},
+		{[]string{"-engine=routine"}, toolmain.EngineRoutine, ""},
+		{[]string{}, toolmain.EngineRoutine, ""},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		e := toolmain.AddEngine(fs)
+		var warn bytes.Buffer
+		e.Warn = &warn
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		name, err := e.Name()
+		if err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if name != tc.wantEngine {
+			t.Errorf("%v: engine %q, want %q", tc.args, name, tc.wantEngine)
+		}
+		// The warning prints once, on the first resolution only.
+		if _, err := e.Name(); err != nil {
+			t.Fatal(err)
+		}
+		got := warn.String()
+		if tc.wantWarn == "" {
+			if got != "" {
+				t.Errorf("%v: unexpected warning %q", tc.args, got)
+			}
+			continue
+		}
+		if strings.Count(got, "warning:") != 1 || !strings.Contains(got, tc.wantWarn) {
+			t.Errorf("%v: warning output %q, want exactly one %q", tc.args, got, tc.wantWarn)
+		}
+	}
+}

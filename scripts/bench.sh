@@ -17,9 +17,11 @@
 # recording each engine's instructions/sec, the chained engine's
 # chain/IC hit-rate and trace counters, the routine tier's compile and
 # deopt counters, and the derived speedup ratios.  Finally
-# runs BenchmarkSimTelemetry and BenchmarkSimProfiled against
-# BenchmarkSimTranslated and emits BENCH_telemetry.json with the
-# enabled-telemetry and profiling overheads (ratios ~1.0 mean free).
+# runs BenchmarkSimTelemetry and BenchmarkSimProfiled against their
+# same-engine baselines (SimTranslated and SimChained) and merges
+# BENCH_telemetry.json with per-flavour enabled-telemetry and
+# profiling overhead ratios (slowdowns; ~1.0 means free), ceiling-
+# checked against scripts/bench_overhead_baseline.json.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,33 +67,23 @@ go run ./scripts/benchmerge -check scripts/bench_baseline.json < "$simraw" ||
     echo "WARNING: engine speedups regressed vs scripts/bench_baseline.json" >&2
 
 # --- observability overhead: telemetry/profiling vs plain JIT ---
+# Each instrumented benchmark is paired with its SAME-ENGINE baseline
+# from the same run: SimTelemetry vs SimTranslated (both unchained),
+# SimProfiled vs SimChained (both chained).  benchmerge derives the
+# per-flavour telemetry_overhead / profiling_overhead slowdown ratios
+# (>= ~1.0 by construction — an earlier awk version here compared
+# mismatched engines and flavours and reported overheads below 1) and
+# gates them with a CEILING against scripts/bench_overhead_baseline.json.
 telout="BENCH_telemetry.json"
 telraw="$(mktemp)"
 trap 'rm -f "$raw" "$simraw" "$telraw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSim(Translated|Telemetry|Profiled)$' \
+go test -run '^$' -bench 'BenchmarkSim(Translated|Chained|Telemetry|Profiled)$' \
     -benchtime "${BENCHTIME:-5x}" . | tee "$telraw"
 
-awk '
-/^BenchmarkSimTranslated/ {
-    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") base = $i
-}
-/^BenchmarkSimTelemetry/ {
-    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") tel = $i
-}
-/^BenchmarkSimProfiled/ {
-    for (i = 2; i < NF; i++) if ($(i + 1) == "sim-insts/s") prof = $i
-}
-END {
-    printf "{\n"
-    printf "  \"base_insts_per_sec\": %s,\n", (base == "" ? "null" : base)
-    printf "  \"telemetry_insts_per_sec\": %s,\n", (tel == "" ? "null" : tel)
-    printf "  \"profiled_insts_per_sec\": %s,\n", (prof == "" ? "null" : prof)
-    printf "  \"telemetry_overhead\": %.3f,\n", (tel > 0 ? base / tel : 0)
-    printf "  \"profiling_overhead\": %.3f\n", (prof > 0 ? base / prof : 0)
-    printf "}\n"
-}
-' "$telraw" > "$telout"
+go run ./scripts/benchmerge -out "$telout" < "$telraw"
+go run ./scripts/benchmerge -check scripts/bench_overhead_baseline.json < "$telraw" ||
+    echo "WARNING: observability overhead regressed vs scripts/bench_overhead_baseline.json" >&2
 
 echo "wrote $telout"
 

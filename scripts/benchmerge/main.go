@@ -165,6 +165,15 @@ func speedups(flavours map[string]map[string]engineResult) map[string]map[string
 		if c, r := engines["chained"], engines["routine"]; c.InstsPerSec > 0 && r.InstsPerSec > 0 {
 			s["routine_vs_chained"] = round2(r.InstsPerSec / c.InstsPerSec)
 		}
+		// Overhead ratios are slowdowns — base over instrumented, same
+		// engine both sides — so >= ~1.0 by construction; -check gates
+		// them with a ceiling, not a floor.
+		if t, tel := engines["translated"], engines["telemetry"]; t.InstsPerSec > 0 && tel.InstsPerSec > 0 {
+			s["telemetry_overhead"] = round2(t.InstsPerSec / tel.InstsPerSec)
+		}
+		if c, p := engines["chained"], engines["profiled"]; c.InstsPerSec > 0 && p.InstsPerSec > 0 {
+			s["profiling_overhead"] = round2(c.InstsPerSec / p.InstsPerSec)
+		}
 		if len(s) > 0 {
 			out[flavour] = s
 		}
@@ -224,6 +233,15 @@ func checkBaseline(path string, rec *runRecord) error {
 			got, ok := rec.Speedups[flavour][name]
 			if !ok {
 				return fmt.Errorf("%s/%s: baseline ratio not measured (missing engine lines?)", flavour, name)
+			}
+			if strings.HasSuffix(name, "_overhead") {
+				// Overheads are slowdown ratios: regression means the
+				// instrumented run got SLOWER, i.e. the ratio grew.
+				if ceil := want * (1 + base.Tolerance); got > ceil {
+					return fmt.Errorf("%s/%s: measured %.2fx, baseline %.2fx (ceiling %.2fx at %.0f%% tolerance)",
+						flavour, name, got, want, ceil, 100*base.Tolerance)
+				}
+				continue
 			}
 			if floor := want * (1 - base.Tolerance); got < floor {
 				return fmt.Errorf("%s/%s: measured %.2fx, baseline %.2fx (floor %.2fx at %.0f%% tolerance)",
