@@ -1,13 +1,15 @@
 // Command eelfuzz runs the differential-fuzzing harness: randomized
-// SPARC programs (a generalization of internal/progen) are checked
-// against three oracles — decode/encode round-trip, interpreter vs
-// translation-cache lockstep, and original vs edited behavioral
-// equivalence.  Failures are shrunk to a minimal configuration and
-// generalized before being reported.
+// programs for the selected machine (-isa sparc or mips; a
+// generalization of internal/progen) are checked against differential
+// oracles — decode/encode round-trip, interpreter vs
+// translation-cache lockstep, and (SPARC only) original vs edited
+// behavioral equivalence.  Failures are shrunk to a minimal
+// configuration and generalized before being reported.
 //
 // Usage:
 //
-//	eelfuzz [-n 1000] [-seed 1] [-oracle roundtrip,lockstep,edited]
+//	eelfuzz [-n 1000] [-seed 1] [-isa sparc|mips]
+//	        [-oracle roundtrip,lockstep,edited]
 //	        [-max-steps N] [-no-shrink] [-v] [-dump SEED]
 //
 // Exit status is non-zero when any oracle is violated.  A violation
@@ -26,7 +28,8 @@ import (
 func main() {
 	n := flag.Int("n", 1000, "number of generated programs")
 	seed := flag.Int64("seed", 1, "master seed (whole run reproduces from it)")
-	oracle := flag.String("oracle", "", "comma-separated oracle subset: roundtrip,lockstep,edited (default all)")
+	oracle := flag.String("oracle", "", "comma-separated oracle subset: roundtrip,lockstep,edited (default all; edited is sparc-only)")
+	isa := flag.String("isa", "sparc", "target machine: sparc or mips")
 	maxSteps := flag.Uint64("max-steps", 50_000_000, "emulator step limit per execution")
 	noShrink := flag.Bool("no-shrink", false, "report failures without shrinking")
 	verbose := flag.Bool("v", false, "log every iteration")
@@ -37,6 +40,7 @@ func main() {
 	if *dump >= 0 {
 		cfg := fuzz.DefaultConfig(*dump)
 		cfg.Seed = *dump
+		cfg.ISA = *isa
 		if *routines > 0 {
 			cfg.Routines = *routines
 		}
@@ -54,6 +58,7 @@ func main() {
 		Seed:     *seed,
 		MaxSteps: *maxSteps,
 		Oracles:  *oracle,
+		ISA:      *isa,
 		Log:      os.Stderr,
 		Verbose:  *verbose,
 		NoShrink: *noShrink,

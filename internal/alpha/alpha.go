@@ -95,6 +95,22 @@ sem bge is (R[ra] >= 0) ? pc := btgt
 
 var desc = spawn.MustParseDesc(DescriptionSource)
 
+func init() {
+	machine.RegisterArch(machine.ArchInfo{
+		Name:       "alpha64e",
+		Aliases:    []string{"alpha"},
+		NewDecoder: func() machine.Decoder { return NewDecoder() },
+		Trap: machine.TrapModel{
+			Code:     0x83,               // call_pal callsys
+			NumReg:   0,                  // $v0
+			Args:     [3]int{16, 17, 18}, // $a0..$a2
+			Ret:      0,
+			SysExit:  1,
+			SysWrite: 4,
+		},
+	})
+}
+
 // Desc returns the compiled Alpha description.
 func Desc() *spawn.Desc { return desc }
 

@@ -16,8 +16,13 @@ type Options struct {
 	// MaxSteps bounds each emulator execution.
 	MaxSteps uint64
 	// Oracles selects which oracles run, comma-separated from
-	// "roundtrip", "lockstep", "edited"; empty means all.
+	// "roundtrip", "lockstep", "edited"; empty means all.  The edited
+	// oracle and the deterministic SPARC encoder sweep apply only when
+	// ISA is SPARC (per-ISA sweeps live in the arch packages' tests).
 	Oracles string
+	// ISA selects the target machine ("sparc" when empty; "mips" runs
+	// the MIPS generator and engines).
+	ISA string
 	// Log, when non-nil, receives per-iteration progress.
 	Log io.Writer
 	// Verbose logs every iteration rather than every failure.
@@ -103,7 +108,7 @@ func Run(opts Options) *Report {
 	rep := &Report{Iterations: opts.N}
 	check := opts.check()
 
-	if opts.oracleEnabled("roundtrip") {
+	if opts.oracleEnabled("roundtrip") && isSPARC(opts.ISA) {
 		if vs := CheckRoundTripSweep(); len(vs) > 0 {
 			rep.Failures = append(rep.Failures, Failure{
 				Iteration:      -1,
@@ -115,6 +120,7 @@ func Run(opts Options) *Report {
 
 	for i := 0; i < opts.N; i++ {
 		cfg := RandConfig(opts.Seed, i)
+		cfg.ISA = opts.ISA
 		p, err := Generate(cfg)
 		if err != nil {
 			rep.Failures = append(rep.Failures, Failure{
@@ -128,7 +134,7 @@ func Run(opts Options) *Report {
 		rep.Programs++
 		vs := check(p, opts.MaxSteps)
 		if opts.oracleEnabled("lockstep") {
-			if res := runOnce(p.File, opts.MaxSteps, EngineInterp); res.cpu != nil {
+			if res := runOnce(p.File, opts.MaxSteps, EngineInterp, p.decoder()); res.cpu != nil {
 				rep.Insts += res.cpu.InstCount
 			}
 		}

@@ -28,6 +28,7 @@ import (
 
 	"eel/internal/asm"
 	"eel/internal/binfile"
+	"eel/internal/progen"
 )
 
 // Config parameterizes one generated program.  Every field is
@@ -38,6 +39,13 @@ type Config struct {
 	Seed     int64
 	Routines int
 	BodyOps  int
+
+	// ISA selects the target machine: "" or "sparc" runs the native
+	// SPARC generator below; "mips" delegates to internal/progen's
+	// MIPS personality.  SPARC-only toggles (Annulled, Windows,
+	// Continuations, Indirect, FP, MulDiv, MultiEntry, EdgeImms) are
+	// ignored for other machines.
+	ISA string
 
 	// Annulled emits annulled branches: bne,a loops, ba,a skips, and
 	// the bn/bn,a never-taken forms.
@@ -146,8 +154,12 @@ func (c Config) String() string {
 			on = append(on, f.name)
 		}
 	}
-	return fmt.Sprintf("seed=%d routines=%d bodyops=%d features=%s",
-		c.Seed, c.Routines, c.BodyOps, strings.Join(on, ","))
+	isa := ""
+	if !isSPARC(c.ISA) {
+		isa = fmt.Sprintf("isa=%s ", c.ISA)
+	}
+	return fmt.Sprintf("%sseed=%d routines=%d bodyops=%d features=%s",
+		isa, c.Seed, c.Routines, c.BodyOps, strings.Join(on, ","))
 }
 
 // Program is one generated program.
@@ -224,13 +236,19 @@ func (g *gen) routineRNG(idx int) *rand.Rand {
 	return rand.New(rand.NewSource(g.cfg.Seed ^ (int64(idx)+1)*-0x61C8864680B583EB))
 }
 
-// Generate builds the program for cfg.
+// isSPARC reports whether isa names the default SPARC machine.
+func isSPARC(isa string) bool { return isa == "" || isa == "sparc" }
+
+// Generate builds the program for cfg, dispatching on cfg.ISA.
 func Generate(cfg Config) (*Program, error) {
 	if cfg.Routines < 1 {
 		return nil, fmt.Errorf("fuzz: need at least one routine")
 	}
 	if cfg.BodyOps < 1 {
 		cfg.BodyOps = 1
+	}
+	if !isSPARC(cfg.ISA) {
+		return generateOther(cfg)
 	}
 	g := &gen{cfg: cfg, traits: make([]traits, cfg.Routines), dataWords: map[string]int{}}
 	for i := range g.traits {
@@ -289,6 +307,31 @@ func Generate(cfg Config) (*Program, error) {
 		}
 	}
 	return p, nil
+}
+
+// generateOther delegates non-SPARC generation to internal/progen's
+// per-ISA personalities, mapping the fuzz toggles that have
+// machine-independent meaning (sizes, Hidden, DataBlobs, Mem, Strip)
+// and ignoring the SPARC-only ones.
+func generateOther(cfg Config) (*Program, error) {
+	pcfg := progen.Config{
+		Seed:       cfg.Seed,
+		Routines:   cfg.Routines,
+		BodyOps:    cfg.BodyOps,
+		ISA:        cfg.ISA,
+		DataTables: cfg.DataBlobs,
+		MemHeavy:   cfg.Mem,
+		Strip:      cfg.Strip,
+		Base:       textBase,
+	}
+	if cfg.Hidden {
+		pcfg.HiddenFrac = 0.15
+	}
+	p, err := progen.Generate(pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %s generator (%s): %w", cfg.ISA, cfg, err)
+	}
+	return &Program{Cfg: cfg, Source: p.Source, File: p.File, dataRanges: p.DataRanges}, nil
 }
 
 // MustGenerate panics on error (tests).

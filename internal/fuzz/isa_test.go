@@ -1,0 +1,51 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+// TestMIPSHarnessPasses runs the harness end-to-end for the MIPS
+// machine: generated programs through the round-trip and lockstep
+// oracles (the edited oracle is SPARC-only and must self-gate).
+func TestMIPSHarnessPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep := Run(Options{N: 25, Seed: 11, ISA: "mips", MaxSteps: 5_000_000})
+	if !rep.OK() {
+		for _, f := range rep.Failures {
+			t.Errorf("iteration %d (%s):", f.Iteration, f.Cfg)
+			for _, v := range f.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
+	}
+	if rep.Programs != rep.Iterations {
+		t.Errorf("generated %d of %d programs", rep.Programs, rep.Iterations)
+	}
+	if rep.Insts == 0 {
+		t.Error("lockstep interpreted no instructions")
+	}
+}
+
+// TestEditedOracleGatesOnISA: the editing pipeline is SPARC-only, so
+// the edited oracle must be a no-op for other machines rather than a
+// spurious failure.
+func TestEditedOracleGatesOnISA(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.ISA = "mips"
+	p := MustGenerate(cfg)
+	if vs := CheckEdited(p, 5_000_000); len(vs) != 0 {
+		t.Errorf("edited oracle reported %d violations for a non-SPARC program", len(vs))
+	}
+}
+
+// TestMIPSConfigString pins the reproducible one-liner carrying the
+// ISA, so a reported failure regenerates on the right machine.
+func TestMIPSConfigString(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.ISA = "mips"
+	if s := cfg.String(); len(s) < 9 || s[:9] != "isa=mips " {
+		t.Errorf("config string %q does not lead with the ISA", s)
+	}
+}

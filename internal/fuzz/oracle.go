@@ -3,10 +3,12 @@ package fuzz
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"eel/internal/binfile"
 	"eel/internal/core"
 	"eel/internal/machine"
+	_ "eel/internal/mips" // register the MIPS architecture
 	"eel/internal/qpt"
 	"eel/internal/sim"
 	"eel/internal/sparc"
@@ -25,9 +27,45 @@ func violate(oracle, format string, args ...any) Violation {
 	return Violation{Oracle: oracle, Detail: fmt.Sprintf(format, args...)}
 }
 
-// dec is the shared decoder all oracles use (interning makes it cheap
-// and safe to share).
+// dec is the shared SPARC decoder the deterministic sweep uses
+// (interning makes it cheap and safe to share).
 var dec = sparc.NewDecoder()
+
+// decoders caches one shared decoder per ISA for the per-program
+// oracles.
+var decoders sync.Map // isa name -> *spawn.TableDecoder
+
+// decoderFor returns the shared decoder for an ISA name.
+func decoderFor(isa string) *spawn.TableDecoder {
+	if isSPARC(isa) {
+		return dec
+	}
+	if d, ok := decoders.Load(isa); ok {
+		return d.(*spawn.TableDecoder)
+	}
+	info, ok := machine.ArchByName(isa)
+	if !ok {
+		panic(fmt.Sprintf("fuzz: no architecture registered for %q", isa))
+	}
+	d := info.NewDecoder().(*spawn.TableDecoder)
+	decoders.Store(isa, d)
+	return d
+}
+
+// archFor returns the registered architecture record for an ISA name.
+func archFor(isa string) *machine.ArchInfo {
+	if isSPARC(isa) {
+		isa = "sparc"
+	}
+	info, ok := machine.ArchByName(isa)
+	if !ok {
+		panic(fmt.Sprintf("fuzz: no architecture registered for %q", isa))
+	}
+	return info
+}
+
+// decoder returns the decoder matching the program's ISA.
+func (p *Program) decoder() *spawn.TableDecoder { return decoderFor(p.Cfg.ISA) }
 
 // rebuild reconstructs an instruction word from its definition's
 // fixed match bits plus the decoded operand fields.  For a word
@@ -74,6 +112,7 @@ func sameFields(a, b *machine.Inst) bool {
 //     encoders and the decoder agree on every operand bit.
 func CheckRoundTripWords(p *Program) []Violation {
 	var vs []Violation
+	dec := p.decoder()
 	text := p.File.Text()
 	for i, w := range p.TextWords() {
 		addr := text.Addr + uint32(i)*4
@@ -310,7 +349,7 @@ func (e Engine) String() string {
 // runOnce executes f on a fresh emulator with the given engine,
 // converting panics to errors so a harness iteration survives engine
 // bugs.
-func runOnce(f *binfile.File, maxSteps uint64, eng Engine) (res runResult) {
+func runOnce(f *binfile.File, maxSteps uint64, eng Engine, dec *spawn.TableDecoder) (res runResult) {
 	var buf bytes.Buffer
 	defer func() {
 		if r := recover(); r != nil {
@@ -318,7 +357,7 @@ func runOnce(f *binfile.File, maxSteps uint64, eng Engine) (res runResult) {
 		}
 		res.out = buf.Bytes()
 	}()
-	cpu := sim.LoadFile(f, &buf)
+	cpu := sim.LoadFileWith(dec, f, &buf)
 	cpu.NoJIT = eng == EngineInterp
 	cpu.NoChain = eng == EngineJIT
 	if eng == EngineRoutine {
@@ -333,16 +372,23 @@ func runOnce(f *binfile.File, maxSteps uint64, eng Engine) (res runResult) {
 	return res
 }
 
-// CheckLockstep runs the program to completion on all four execution
-// engines — the single-step interpreter, the translation-cache engine,
-// the chained/trace engine, and the whole-routine tier — and requires
-// bit-identical outcomes against the interpreter: same error (if any),
-// same output bytes, same architected state, same memory image.
+// CheckLockstep runs the program to completion on every execution
+// engine the target machine supports — the single-step interpreter,
+// the translation-cache engine, the chained/trace engine, and (where
+// the architecture registration enables it) the whole-routine tier —
+// and requires bit-identical outcomes against the interpreter: same
+// error (if any), same output bytes, same architected state, same
+// memory image.
 func CheckLockstep(p *Program, maxSteps uint64) []Violation {
-	interp := runOnce(p.File, maxSteps, EngineInterp)
+	d := p.decoder()
+	interp := runOnce(p.File, maxSteps, EngineInterp, d)
 	var vs []Violation
-	for _, eng := range []Engine{EngineJIT, EngineChained, EngineRoutine} {
-		vs = append(vs, lockstepDiff(interp, runOnce(p.File, maxSteps, eng), eng)...)
+	engines := []Engine{EngineJIT, EngineChained}
+	if archFor(p.Cfg.ISA).RoutineTier {
+		engines = append(engines, EngineRoutine)
+	}
+	for _, eng := range engines {
+		vs = append(vs, lockstepDiff(interp, runOnce(p.File, maxSteps, eng, d), eng)...)
 	}
 	return vs
 }
@@ -403,7 +449,12 @@ func edit(f *binfile.File, instrument bool) (edited *binfile.File, err error) {
 // qpt-instrumented build must all exit with the same code and write
 // the same output.
 func CheckEdited(p *Program, maxSteps uint64) []Violation {
-	orig := runOnce(p.File, maxSteps, EngineChained)
+	if !isSPARC(p.Cfg.ISA) {
+		// The editing pipeline (internal/core, internal/qpt) analyzes
+		// SPARC executables only; the oracle does not apply elsewhere.
+		return nil
+	}
+	orig := runOnce(p.File, maxSteps, EngineChained, dec)
 	if orig.err != nil {
 		return []Violation{violate("edited", "original program fails to run: %v", orig.err)}
 	}
@@ -420,7 +471,7 @@ func CheckEdited(p *Program, maxSteps uint64) []Violation {
 			vs = append(vs, violate("edited", "%s edit failed: %v", mode.name, err))
 			continue
 		}
-		res := runOnce(ed, maxSteps*8, EngineChained)
+		res := runOnce(ed, maxSteps*8, EngineChained, dec)
 		if res.err != nil {
 			vs = append(vs, violate("edited", "%s build fails to run: %v", mode.name, res.err))
 			continue

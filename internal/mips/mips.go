@@ -35,11 +35,15 @@ zero is R[0]
 pat [ sll _ srl sra _ _ _ _ jr jalr _ _ syscall ]
   is op=0 && funct=[0b000000..0b001100]
 
+pat [ mfhi _ mflo ] is op=0 && funct=[0b010000..0b010010]
+pat [ mult multu ] is op=0 && funct=[0b011000 0b011001]
+
 pat [ addu subu and or xor nor _ _ slt sltu ]
   is op=0 && funct=[0b100001 0b100011 0b100100 0b100101 0b100110 0b100111 0b101000 0b101001 0b101010 0b101011]
 
+pat [ bltz bgez ] is op=0b000001 && rt=[0 1]
 pat [ j jal beq bne blez bgtz ] is op=[0b000010 0b000011 0b000100 0b000101 0b000110 0b000111]
-pat [ addiu slti _ andi ori xori lui ] is op=[0b001001..0b001111]
+pat [ addiu slti sltiu andi ori xori lui ] is op=[0b001001..0b001111]
 pat [ lb lh _ lw lbu lhu ] is op=[0b100000..0b100101]
 pat [ sb sh _ sw ] is op=[0b101000..0b101011]
 
@@ -56,24 +60,32 @@ sem jr is t := R[rs] ; pc := t
 sem jalr is t := R[rs], R[rdf] := pc + 8 ; pc := t
 sem syscall is trap(0)
 
+sem mfhi is R[rdf] := HI
+sem mflo is R[rdf] := LO
+sem mult is p := sex(R[rs], 32) * sex(R[rt], 32), HI := p >> 32, LO := p
+sem multu is p := R[rs] * R[rt], HI := p >> 32, LO := p
+
 sem addu is R[rdf] := R[rs] + R[rt]
 sem subu is R[rdf] := R[rs] - R[rt]
 sem and is R[rdf] := R[rs] & R[rt]
 sem or is R[rdf] := R[rs] | R[rt]
 sem xor is R[rdf] := R[rs] ^ R[rt]
 sem nor is R[rdf] := ~(R[rs] | R[rt])
-sem slt is R[rdf] := R[rs] < R[rt]
-sem sltu is R[rdf] := shr(R[rs], 0) < shr(R[rt], 0) ? 1 : 0
+sem slt is R[rdf] := sex(R[rs], 32) < sex(R[rt], 32)
+sem sltu is R[rdf] := R[rs] < R[rt]
 
+sem bltz is t := btgt ; (sex(R[rs], 32) < 0) ? pc := t
+sem bgez is t := btgt ; (sex(R[rs], 32) >= 0) ? pc := t
 sem j is t := jtgt ; pc := t
 sem jal is t := jtgt, R[31] := pc + 8 ; pc := t
 sem beq is t := btgt ; (R[rs] == R[rt]) ? pc := t
 sem bne is t := btgt ; (R[rs] != R[rt]) ? pc := t
-sem blez is t := btgt ; (R[rs] <= 0) ? pc := t
-sem bgtz is t := btgt ; (R[rs] > 0) ? pc := t
+sem blez is t := btgt ; (sex(R[rs], 32) <= 0) ? pc := t
+sem bgtz is t := btgt ; (sex(R[rs], 32) > 0) ? pc := t
 
 sem addiu is R[rt] := R[rs] + simm
-sem slti is R[rt] := R[rs] < simm
+sem slti is R[rt] := sex(R[rs], 32) < simm
+sem sltiu is R[rt] := R[rs] < (simm & 0xffffffff)
 sem andi is R[rt] := R[rs] & imm16
 sem ori is R[rt] := R[rs] | imm16
 sem xori is R[rt] := R[rs] ^ imm16
@@ -90,6 +102,23 @@ sem sw is M[R[rs] + simm]{4} := R[rt]
 `
 
 var desc = spawn.MustParseDesc(DescriptionSource)
+
+func init() {
+	machine.RegisterArch(machine.ArchInfo{
+		Name:       "mips32e",
+		Aliases:    []string{"mips"},
+		NewDecoder: func() machine.Decoder { return NewDecoder() },
+		Trap: machine.TrapModel{
+			Code:     0,               // "syscall"
+			NumReg:   2,               // $v0
+			Args:     [3]int{4, 5, 6}, // $a0..$a2
+			Ret:      2,
+			SysExit:  1,
+			SysWrite: 4,
+		},
+		Lockstep: true,
+	})
+}
 
 // Desc returns the compiled MIPS description.
 func Desc() *spawn.Desc { return desc }

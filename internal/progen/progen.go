@@ -38,8 +38,12 @@ const (
 
 // Config parameterizes generation.
 type Config struct {
-	Seed        int64
-	Routines    int
+	Seed     int64
+	Routines int
+	// ISA selects the target machine: "" or "sparc" for the SPARC
+	// generator (Personality applies), "mips" for the MIPS word-level
+	// generator (see mips.go).
+	ISA         string
 	Personality Personality
 	// SwitchFrac is the fraction of routines containing a
 	// dispatch-table switch.
@@ -111,11 +115,28 @@ func DefaultConfig(seed int64) Config {
 type Program struct {
 	Source string
 	File   *binfile.File
-	Asm    *asm.Program
+	// Asm is the assembled SPARC program; nil for the MIPS generator,
+	// which emits words directly through the canonical encoders.
+	Asm *asm.Program
+	// DataRanges lists [start,end) address ranges inside the text
+	// segment holding data rather than instructions (filled by the
+	// MIPS generator; the SPARC path records data in Asm).
+	DataRanges [][2]uint32
 	// ExpectedFeatures counts what was generated, for tests.
 	Switches      int
 	Continuations int
 	Hidden        int
+}
+
+// IsData reports whether the text word at addr is embedded data
+// rather than an encoder-produced instruction.
+func (p *Program) IsData(addr uint32) bool {
+	for _, r := range p.DataRanges {
+		if addr >= r[0] && addr < r[1] {
+			return true
+		}
+	}
+	return false
 }
 
 type gen struct {
@@ -138,10 +159,17 @@ type gen struct {
 	hidden  []bool
 }
 
-// Generate builds a program per cfg.
+// Generate builds a program per cfg, dispatching on cfg.ISA.
 func Generate(cfg Config) (*Program, error) {
 	if cfg.Routines < 1 {
 		return nil, fmt.Errorf("progen: need at least one routine")
+	}
+	switch cfg.ISA {
+	case "", "sparc":
+	case "mips", "mips32e":
+		return generateMIPS(cfg)
+	default:
+		return nil, fmt.Errorf("progen: no generator personality for ISA %q", cfg.ISA)
 	}
 	if cfg.Base == 0 {
 		cfg.Base = 0x10000

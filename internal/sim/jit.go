@@ -264,19 +264,32 @@ func (c *CPU) unlink(dead *tblock) {
 
 // buildBlock translates the straight-line run starting at pc.  It
 // stops at text bounds, undecodable or uncompilable instructions, the
-// block length cap, or one instruction past an unconditional control
-// transfer (its delay slot); conditional branches do not end the
+// block length cap, or DelaySlots() instructions past an unconditional
+// control transfer (zero on machines without delay slots, so the block
+// ends at the transfer itself); conditional branches do not end the
 // block, which is what makes it a superblock.
+//
+// A control transfer sitting in another transfer's delay slot (a DCTI
+// couple) is never admitted into a block: the couple's interleaved
+// pipeline state spans what the block machinery treats as a boundary,
+// so the builder conservatively closes the block at the first
+// transfer and leaves the couple to the dispatcher's per-instruction
+// path, which carries full PC/NPC bookkeeping.
 func (c *CPU) buildBlock(pc uint32) *tblock {
 	b := &tblock{pc: pc}
 	slotsLeft := -1 // <0: not closing; 0: stop
-	for addr := pc; len(b.insts) < tcMaxBlock && slotsLeft != 0; addr += 4 {
-		if addr < c.TextStart || addr >= c.TextEnd || addr%4 != 0 {
+	for addr := pc; len(b.insts) < tcMaxBlock && slotsLeft != 0; addr += c.isize {
+		if addr < c.TextStart || addr >= c.TextEnd || addr%c.isize != 0 {
 			break
 		}
 		word := c.Mem.Read32(addr)
 		inst := c.dec.Decode(word)
 		if !inst.Valid() {
+			break
+		}
+		if slotsLeft > 0 && (inst.Category().IsControl() || inst.DelaySlots() > 0) {
+			// DCTI couple: drop the slot instruction and close the
+			// block at the first transfer.
 			break
 		}
 		sem, ok := inst.Sem().(*spawn.InstSem)
@@ -388,6 +401,9 @@ func (c *CPU) execLinear(b *tblock, maxSteps uint64, gen uint64) (last int, stop
 	}
 	c.rtlCtx.Bind(&c.env)
 	for {
+		// Fixed 4-byte stride: bindDesc rejects any other instruction
+		// width at New, so the shifts here cannot drift out of sync
+		// with the description.
 		off := c.PC - b.pc
 		if off&3 != 0 || off>>2 >= uint32(len(insts)) {
 			return last, false, nil
@@ -424,7 +440,7 @@ func (c *CPU) execLinear(b *tblock, maxSteps uint64, gen uint64) (last int, stop
 				c.InstCount++
 				last = i
 				c.PC = c.NPC
-				c.NPC += 4
+				c.NPC += c.isize
 				if b.memw[i] && c.tc.gen != gen {
 					return last, true, nil
 				}
@@ -505,7 +521,7 @@ func (c *CPU) execTrace(b *tblock, maxSteps uint64, gen uint64) (last int, stop 
 				c.InstCount++
 				last = i
 				c.PC = c.NPC
-				c.NPC += 4
+				c.NPC += c.isize
 				if !b.memw[i] {
 					// Only a memory write can invalidate the cache;
 					// skip straight to the next-entry guard.

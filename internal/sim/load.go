@@ -5,19 +5,26 @@ import (
 
 	"eel/internal/binfile"
 	"eel/internal/sparc"
+	"eel/internal/spawn"
 )
 
 // DefaultStack is the initial stack pointer used by LoadFile.
 const DefaultStack = 0x7ff000
 
-// LoadFile builds a CPU with every section of f loaded, execution
-// restricted to the text section, and the pc at the entry point.
+// LoadFile builds a SPARC CPU with every section of f loaded,
+// execution restricted to the text section, and the pc at the entry
+// point.  Use LoadFileWith to run another machine's image.
 func LoadFile(f *binfile.File, stdout io.Writer) *CPU {
+	return LoadFileWith(sparc.NewDecoder(), f, stdout)
+}
+
+// LoadFileWith is LoadFile for any registered architecture's decoder.
+func LoadFileWith(dec *spawn.TableDecoder, f *binfile.File, stdout io.Writer) *CPU {
 	mem := NewMemory()
 	for _, s := range f.Sections {
 		mem.LoadSegment(s.Addr, s.Data)
 	}
-	cpu := New(sparc.NewDecoder(), mem)
+	cpu := New(dec, mem)
 	cpu.Stdout = stdout
 	if text := f.Text(); text != nil {
 		cpu.TextStart, cpu.TextEnd = text.Addr, text.End()

@@ -1,7 +1,10 @@
-// Package sim is a SPARC V8 emulator driven directly by the spawn
-// machine description's RTL semantics: each step decodes a word and
-// executes its semantic AST, so the description is the single source
-// of truth for both analysis and execution.  The emulator models
+// Package sim is a machine-generic emulator driven directly by the
+// spawn machine description's RTL semantics: each step decodes a word
+// and executes its semantic AST, so the description is the single
+// source of truth for both analysis and execution.  The register map,
+// instruction stride, delay-slot behaviour, and trap ABI are all data
+// read from the description and the arch registry — SPARC, MIPS, and
+// Alpha descriptions run on the same substrate.  The emulator models
 // delayed control transfers, annulled delay slots, register windows,
 // big-endian memory, and a small system-call ABI — everything the
 // paper's execution-based experiments (Active Memory cache
@@ -19,10 +22,12 @@ import (
 	"eel/internal/telemetry"
 )
 
-// System-call numbers (in %g1 when executing "ta 0").
+// System-call numbers in the default ABI (SPARC: "ta 0" with the
+// number in %g1; other machines name their registers through their
+// TrapModel).
 const (
-	SysExit  = 1 // exit(%o0)
-	SysWrite = 4 // write(%o0 fd, %o1 buf, %o2 len) -> %o0 bytes
+	SysExit  = 1 // exit(arg0)
+	SysWrite = 4 // write(arg0 fd, arg1 buf, arg2 len) -> ret bytes
 )
 
 // Fault describes an execution failure with its faulting address.
@@ -231,7 +236,21 @@ type CPU struct {
 	// triggers routine compilation; 0 means the default.
 	RoutineHotThreshold uint64
 
-	dec       *spawn.TableDecoder
+	dec *spawn.TableDecoder
+
+	// Description-derived machine shape, bound once at New: the
+	// instruction stride, the integer/float register file names, the
+	// hardwired-zero index, and the architecture's trap model and
+	// tier capabilities.  Everything below is data read from the
+	// spawn description or the arch registry — the substrate has no
+	// per-machine code paths.
+	isize    uint32
+	arch     *machine.ArchInfo
+	intFile  string
+	intCount int
+	zeroIdx  int64 // -1 when the machine has no hardwired zero
+	fltFile  string
+
 	windows   []window
 	annulNext bool
 
@@ -278,13 +297,73 @@ type CPU struct {
 // interning statistics into a telemetry registry).
 func (c *CPU) Decoder() *spawn.TableDecoder { return c.dec }
 
-// New returns a CPU using dec (which must be a SPARC-shaped
-// description: integer file "R" with Y/PSR/FSR aliases).
+// New returns a CPU for dec's machine.  The register map, instruction
+// stride, and trap ABI are derived from the spawn description and the
+// arch registry (machine.RegisterArch), so any registered description
+// runs on the same substrate.  New panics — loudly, at load time —
+// when the description's shape is outside what the substrate
+// supports, rather than mis-executing silently mid-block.
 func New(dec *spawn.TableDecoder, mem *Memory) *CPU {
 	c := &CPU{Mem: mem, dec: dec}
+	c.bindDesc()
 	c.env.c = c
 	return c
 }
+
+// bindDesc derives the CPU's machine shape from the spawn description
+// and arch registry.  Every constraint violation is a panic: these are
+// description bugs, and the one place to catch them is load, not the
+// middle of a translated block.
+func (c *CPU) bindDesc() {
+	d := c.dec.Desc()
+	ws := c.dec.WordSize()
+	if ws != 4 {
+		panic(fmt.Sprintf("sim: %s has %d-byte instruction words; the execution substrate supports only fixed 4-byte instructions", c.dec.Name(), ws))
+	}
+	c.isize = uint32(ws)
+	c.zeroIdx = -1
+	for i := range d.Files {
+		f := &d.Files[i]
+		if f.Count <= 0 {
+			continue // scalar registers such as pc
+		}
+		switch f.Typ {
+		case "integer":
+			if c.intFile != "" {
+				panic(fmt.Sprintf("sim: %s declares two integer register files (%s, %s)", c.dec.Name(), c.intFile, f.Name))
+			}
+			if f.Count > 32+numExtendedSlots {
+				panic(fmt.Sprintf("sim: %s integer file %s has %d registers; the substrate holds at most %d", c.dec.Name(), f.Name, f.Count, 32+numExtendedSlots))
+			}
+			c.intFile, c.intCount = f.Name, f.Count
+		case "float":
+			if f.Count > 32 {
+				panic(fmt.Sprintf("sim: %s float file %s has %d registers; the substrate holds at most 32", c.dec.Name(), f.Name, f.Count))
+			}
+			c.fltFile = f.Name
+		}
+	}
+	if c.intFile == "" {
+		panic(fmt.Sprintf("sim: %s declares no integer register file", c.dec.Name()))
+	}
+	if d.HasZero {
+		if d.ZeroFile != c.intFile {
+			panic(fmt.Sprintf("sim: %s hardwires zero in non-integer file %s", c.dec.Name(), d.ZeroFile))
+		}
+		c.zeroIdx = d.ZeroIndex
+	}
+	arch, ok := machine.ArchByName(c.dec.Name())
+	if !ok {
+		panic(fmt.Sprintf("sim: no architecture registered for %q (import its package or call machine.RegisterArch)", c.dec.Name()))
+	}
+	c.arch = arch
+}
+
+// numExtendedSlots is how many integer-file indices at and above 32
+// the CPU can hold, mapped in order onto the named special registers
+// Y, PSR, FSR.  SPARC uses all three (Y/PSR/FSR aliases); MIPS lands
+// HI/LO on the first two; Alpha uses none.
+const numExtendedSlots = 3
 
 // Reset prepares the CPU to run from entry with the given stack
 // pointer.  Cached translation blocks are discarded (a reused CPU may
@@ -294,7 +373,7 @@ func (c *CPU) Reset(entry, sp uint32) {
 	c.R[14] = sp
 	c.Y, c.PSR, c.FSR = 0, 0, 0
 	c.F = [32]uint32{}
-	c.PC, c.NPC = entry, entry+4
+	c.PC, c.NPC = entry, entry+c.isize
 	c.Halted = false
 	c.ExitCode = 0
 	c.InstCount = 0
@@ -329,7 +408,7 @@ func (c *CPU) Step() error {
 	if c.TextEnd > c.TextStart && (c.PC < c.TextStart || c.PC >= c.TextEnd) {
 		return &Fault{c.PC, ErrUnmappedExec}
 	}
-	if c.PC%4 != 0 {
+	if c.PC%c.isize != 0 {
 		return &Fault{c.PC, ErrMisaligned}
 	}
 	word := c.fetch(c.PC)
@@ -371,10 +450,10 @@ func (c *CPU) Step() error {
 // share it so architected behaviour is identical in both modes.
 func (c *CPU) finishStep(annulBefore bool) {
 	newPC := c.NPC
-	newNPC := c.NPC + 4
+	newNPC := c.NPC + c.isize
 	if c.hasImmediate {
 		newPC = c.immediateTarget
-		newNPC = newPC + 4
+		newNPC = newPC + c.isize
 	} else if c.hasDelayed {
 		newNPC = c.delayedTarget
 	}
@@ -383,7 +462,7 @@ func (c *CPU) finishStep(annulBefore bool) {
 		c.annulNext = false
 		c.AnnulCount++
 		c.PC = c.NPC
-		c.NPC += 4
+		c.NPC += c.isize
 	}
 }
 
@@ -518,7 +597,8 @@ func (c *CPU) Run(maxSteps uint64) error {
 // run is Run's engine loop, free of telemetry bookkeeping.
 func (c *CPU) run(maxSteps uint64) error {
 	useJIT := !c.NoJIT && c.TextEnd > c.TextStart
-	c.rtOn = useJIT && !c.NoChain && c.EnableRoutines && c.prof == nil
+	c.rtOn = useJIT && !c.NoChain && c.EnableRoutines && c.prof == nil &&
+		c.arch.RoutineTier
 	if c.rtOn {
 		c.ensureRT()
 		c.rtNoteCandidate(c.PC) // the run's entry is a routine entry
@@ -535,7 +615,7 @@ func (c *CPU) run(maxSteps uint64) error {
 		}
 		if c.rtOn {
 			c.rtDrain() // install background results between steps
-			if c.NPC == c.PC+4 && c.rt.candidates[c.PC] {
+			if c.NPC == c.PC+c.isize && c.rt.candidates[c.PC] {
 				if _, in := c.rt.heads[c.PC]; !in {
 					// A candidate entry arriving at the dispatcher heats
 					// up here, so promotion needs no throwaway
@@ -547,7 +627,7 @@ func (c *CPU) run(maxSteps uint64) error {
 					}
 				}
 			}
-			if rh, ok := c.rt.heads[c.PC]; ok && c.NPC == c.PC+4 {
+			if rh, ok := c.rt.heads[c.PC]; ok && c.NPC == c.PC+c.isize {
 				executed, err := c.runRoutine(rh, maxSteps)
 				if err != nil {
 					return err
@@ -660,7 +740,7 @@ func (c *CPU) runChained(b *tblock, maxSteps uint64) error {
 			if c.rt.mb.has.Load() {
 				return nil
 			}
-			if _, ok := c.rt.heads[c.PC]; ok && c.NPC == c.PC+4 {
+			if _, ok := c.rt.heads[c.PC]; ok && c.NPC == c.PC+c.isize {
 				return nil
 			}
 		}
@@ -680,7 +760,7 @@ func (c *CPU) chainTarget(s *exitSlot, pc uint32) *tblock {
 	} else {
 		c.tc.chainMisses++
 	}
-	if pc&3 != 0 || pc < c.TextStart || pc >= c.TextEnd {
+	if pc%c.isize != 0 || pc < c.TextStart || pc >= c.TextEnd {
 		return nil
 	}
 	nb := c.block(pc)
@@ -721,51 +801,58 @@ func (e *cpuEnv) IsRegFile(name string) bool {
 	return ok && rf.Count > 0
 }
 
+// ReadReg and WriteReg map description register references onto the
+// CPU's architected state.  The file names, the hardwired-zero index,
+// and the file sizes come from the spawn description at New; integer
+// indices at and above 32 occupy the extended slots (Y, PSR, FSR in
+// order), which is where SPARC's aliases and MIPS's HI/LO live.
 func (e *cpuEnv) ReadReg(file string, idx int64) (uint64, error) {
+	c := e.c
 	switch file {
-	case "R":
+	case c.intFile:
 		switch {
-		case idx == 0:
+		case idx == c.zeroIdx:
 			return 0, nil
-		case idx < 32:
-			return uint64(e.c.R[idx]), nil
-		case idx == 32:
-			return uint64(e.c.Y), nil
-		case idx == 33:
-			return uint64(e.c.PSR), nil
-		case idx == 34:
-			return uint64(e.c.FSR), nil
+		case idx >= 0 && idx < 32 && idx < int64(c.intCount):
+			return uint64(c.R[idx]), nil
+		case idx == 32 && c.intCount > 32:
+			return uint64(c.Y), nil
+		case idx == 33 && c.intCount > 33:
+			return uint64(c.PSR), nil
+		case idx == 34 && c.intCount > 34:
+			return uint64(c.FSR), nil
 		}
-	case "F":
+	case c.fltFile:
 		if idx >= 0 && idx < 32 {
-			return uint64(e.c.F[idx]), nil
+			return uint64(c.F[idx]), nil
 		}
 	}
 	return 0, fmt.Errorf("sim: read of unknown register %s[%d]", file, idx)
 }
 
 func (e *cpuEnv) WriteReg(file string, idx int64, v uint64) error {
+	c := e.c
 	switch file {
-	case "R":
+	case c.intFile:
 		switch {
-		case idx == 0:
+		case idx == c.zeroIdx:
 			return nil // hardwired zero
-		case idx < 32:
-			e.c.R[idx] = uint32(v)
+		case idx >= 0 && idx < 32 && idx < int64(c.intCount):
+			c.R[idx] = uint32(v)
 			return nil
-		case idx == 32:
-			e.c.Y = uint32(v)
+		case idx == 32 && c.intCount > 32:
+			c.Y = uint32(v)
 			return nil
-		case idx == 33:
-			e.c.PSR = uint32(v)
+		case idx == 33 && c.intCount > 33:
+			c.PSR = uint32(v)
 			return nil
-		case idx == 34:
-			e.c.FSR = uint32(v)
+		case idx == 34 && c.intCount > 34:
+			c.FSR = uint32(v)
 			return nil
 		}
-	case "F":
+	case c.fltFile:
 		if idx >= 0 && idx < 32 {
-			e.c.F[idx] = uint32(v)
+			c.F[idx] = uint32(v)
 			return nil
 		}
 	}
@@ -810,20 +897,23 @@ func (e *cpuEnv) SetPC(v uint64, delayed bool) {
 
 func (e *cpuEnv) Annul() { e.c.annulNext = true }
 
-// Trap implements the system-call ABI: "ta 0" with the call number
-// in %g1 and arguments in %o0..%o3.
+// Trap implements the system-call ABI described by the architecture's
+// TrapModel (SPARC: "ta 0" with the number in %g1 and arguments in
+// %o0..%o2; MIPS: "syscall" with $v0/$a0..; Alpha: "call_pal callsys"
+// with $v0/$a0..).
 func (e *cpuEnv) Trap(code uint64) error {
-	if code != 0 {
+	t := &e.c.arch.Trap
+	if code != t.Code {
 		return fmt.Errorf("sim: unhandled trap %d", code)
 	}
-	switch e.c.R[1] { // %g1
-	case SysExit:
+	switch e.c.R[t.NumReg] {
+	case t.SysExit:
 		e.c.Halted = true
-		e.c.ExitCode = e.c.R[8]
+		e.c.ExitCode = e.c.R[t.Args[0]]
 		return nil
-	case SysWrite:
-		buf := e.c.R[9]
-		n := e.c.R[10]
+	case t.SysWrite:
+		buf := e.c.R[t.Args[1]]
+		n := e.c.R[t.Args[2]]
 		if e.c.Stdout != nil {
 			data := make([]byte, n)
 			for i := uint32(0); i < n; i++ {
@@ -833,10 +923,10 @@ func (e *cpuEnv) Trap(code uint64) error {
 				return fmt.Errorf("sim: write syscall: %w", err)
 			}
 		}
-		e.c.R[8] = n
+		e.c.R[t.Ret] = n
 		return nil
 	default:
-		return fmt.Errorf("%w: %d", ErrBadSyscall, e.c.R[1])
+		return fmt.Errorf("%w: %d", ErrBadSyscall, e.c.R[t.NumReg])
 	}
 }
 
@@ -845,17 +935,18 @@ func (e *cpuEnv) Trap(code uint64) error {
 // (and results written to) the routine environment, where the
 // register file lives while a routine program runs.
 func (e *cpuEnv) RTrap(re *rtl.REnv, code uint64) error {
-	if code != 0 {
+	t := &e.c.arch.Trap
+	if code != t.Code {
 		return fmt.Errorf("sim: unhandled trap %d", code)
 	}
-	switch re.R[1] { // %g1
-	case SysExit:
+	switch re.R[t.NumReg] {
+	case t.SysExit:
 		re.Halted = true
-		re.ExitCode = re.R[8]
+		re.ExitCode = re.R[t.Args[0]]
 		return nil
-	case SysWrite:
-		buf := re.R[9]
-		n := re.R[10]
+	case t.SysWrite:
+		buf := re.R[t.Args[1]]
+		n := re.R[t.Args[2]]
 		if e.c.Stdout != nil {
 			data := make([]byte, n)
 			for i := uint32(0); i < n; i++ {
@@ -865,10 +956,10 @@ func (e *cpuEnv) RTrap(re *rtl.REnv, code uint64) error {
 				return fmt.Errorf("sim: write syscall: %w", err)
 			}
 		}
-		re.R[8] = n
+		re.R[t.Ret] = n
 		return nil
 	default:
-		return fmt.Errorf("%w: %d", ErrBadSyscall, re.R[1])
+		return fmt.Errorf("%w: %d", ErrBadSyscall, re.R[t.NumReg])
 	}
 }
 

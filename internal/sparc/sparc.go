@@ -180,6 +180,23 @@ const (
 
 var desc = spawn.MustParseDesc(DescriptionSource)
 
+func init() {
+	machine.RegisterArch(machine.ArchInfo{
+		Name:       "sparc",
+		NewDecoder: func() machine.Decoder { return NewDecoder() },
+		Trap: machine.TrapModel{
+			Code:     0, // "ta 0"
+			NumReg:   int(RegG1),
+			Args:     [3]int{int(RegO0), int(RegO1), int(RegO2)},
+			Ret:      int(RegO0),
+			SysExit:  1,
+			SysWrite: 4,
+		},
+		RoutineTier: true,
+		Lockstep:    true,
+	})
+}
+
 // Desc returns the compiled SPARC description.
 func Desc() *spawn.Desc { return desc }
 

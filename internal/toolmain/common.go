@@ -5,14 +5,18 @@ import (
 	"fmt"
 	"io"
 
+	_ "eel/internal/alpha" // register the architectures -isa can name
 	_ "eel/internal/aout"
 	_ "eel/internal/elf32"
+	_ "eel/internal/mips"
 
 	"eel/internal/binfile"
 	"eel/internal/core"
+	"eel/internal/machine"
 	"eel/internal/obs"
 	"eel/internal/pipeline"
 	"eel/internal/progen"
+	"eel/internal/spawn"
 	"eel/internal/telemetry"
 )
 
@@ -27,6 +31,10 @@ type Common struct {
 	Jobs int
 	// Stats is -stats: print pipeline statistics after analysis.
 	Stats bool
+	// ISA is -isa: the registered architecture generated inputs and
+	// emulator runs target ("sparc" by default; the editing pipeline
+	// itself is still SPARC-only and tools that edit enforce that).
+	ISA string
 	// Gen is the -gen progen seed, -1 when absent; GenRoutines is
 	// -gen-routines.
 	Gen         int64
@@ -49,6 +57,7 @@ func AddCommon(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.IntVar(&c.Jobs, "j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	fs.BoolVar(&c.Stats, "stats", false, "print analysis pipeline statistics")
+	fs.StringVar(&c.ISA, "isa", "sparc", "target machine for -gen and execution (sparc, mips, alpha)")
 	fs.Int64Var(&c.Gen, "gen", -1, "generate a synthetic input program with this seed")
 	fs.IntVar(&c.GenRoutines, "gen-routines", 40, "routines in the generated program")
 	fs.BoolVar(&c.GenSelfMod, "gen-selfmod", false, "make the generated program self-modifying (exercises JIT deopt)")
@@ -90,6 +99,9 @@ func (c *Common) OpenInput(arg string) (*binfile.File, string, error) {
 		cfg := progen.DefaultConfig(c.Gen)
 		cfg.Routines = c.GenRoutines
 		cfg.SelfMod = c.GenSelfMod
+		if c.ISA != "sparc" {
+			cfg.ISA = c.ISA
+		}
 		p, err := progen.Generate(cfg)
 		if err != nil {
 			return nil, "", err
@@ -104,6 +116,38 @@ func (c *Common) OpenInput(arg string) (*binfile.File, string, error) {
 		return f, arg, err
 	}
 	return nil, "", fmt.Errorf("need an input executable or -gen seed")
+}
+
+// Arch resolves -isa against the architecture registry.
+func (c *Common) Arch() (*machine.ArchInfo, error) {
+	info, ok := machine.ArchByName(c.ISA)
+	if !ok {
+		return nil, fmt.Errorf("unknown -isa %q (registered: %v)", c.ISA, machine.ArchNames())
+	}
+	return info, nil
+}
+
+// Decoder returns a decoder for the selected machine, for tools that
+// execute or disassemble per -isa.
+func (c *Common) Decoder() (*spawn.TableDecoder, error) {
+	info, err := c.Arch()
+	if err != nil {
+		return nil, err
+	}
+	return info.NewDecoder().(*spawn.TableDecoder), nil
+}
+
+// RequireSPARC rejects any -isa other than SPARC, for tools built on
+// the (still SPARC-only) analysis and editing pipeline.
+func (c *Common) RequireSPARC() error {
+	info, err := c.Arch()
+	if err != nil {
+		return err
+	}
+	if info.Name != "sparc" {
+		return fmt.Errorf("binary analysis and editing support sparc only (got -isa=%s)", c.ISA)
+	}
+	return nil
 }
 
 // Load wraps a parsed container as an analyzable executable (symbol
@@ -123,6 +167,9 @@ func Load(f *binfile.File) (*core.Executable, error) {
 // in (unless opts already names one) and prints the run's statistics
 // when -stats asked for them.
 func (c *Common) Analyze(e *core.Executable, opts pipeline.Options) (*pipeline.Result, error) {
+	if err := c.RequireSPARC(); err != nil {
+		return nil, err
+	}
 	if opts.Workers == 0 {
 		opts.Workers = c.Jobs
 	}

@@ -36,6 +36,9 @@ func Run(tool string, mode qpt.Mode, args []string) error {
 	}
 	defer stop()
 
+	if err := com.RequireSPARC(); err != nil {
+		return err
+	}
 	f, input, err := com.OpenInput(fs.Arg(0))
 	if err != nil {
 		return err
